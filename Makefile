@@ -1,0 +1,38 @@
+# Development targets for the detobj reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every experiment table from EXPERIMENTS.md.
+experiments:
+	$(GO) run ./cmd/wrnsim -runs 1000
+	$(GO) run ./cmd/hierarchy
+	$(GO) run ./cmd/modelcheck
+	$(GO) run ./cmd/substrates
+
+# Short fuzzing passes over the property targets.
+fuzz:
+	$(GO) test -fuzz FuzzWRNAgainstReference -fuzztime 30s ./internal/wrn/
+	$(GO) test -fuzz FuzzAlg2Schedules -fuzztime 30s ./internal/wrn/
+	$(GO) test -fuzz FuzzCheckAgainstBruteForce -fuzztime 30s ./internal/linearize/
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,252 @@
+package detobj
+
+import (
+	"detobj/internal/bgsim"
+	"detobj/internal/core"
+	"detobj/internal/election"
+	"detobj/internal/immediate"
+	"detobj/internal/iterated"
+	"detobj/internal/linearize"
+	"detobj/internal/modelcheck"
+	"detobj/internal/renaming"
+	"detobj/internal/safeagreement"
+	"detobj/internal/setconsensus"
+	"detobj/internal/sim"
+	"detobj/internal/snapshot"
+	"detobj/internal/tasks"
+	"detobj/internal/wrn"
+)
+
+// Simulator types: the asynchronous shared-memory model.
+type (
+	// Config describes one simulated run; see sim.Config.
+	Config = sim.Config
+	// Program is the sequential code of one simulated process.
+	Program = sim.Program
+	// Ctx is a process's handle to the simulated world.
+	Ctx = sim.Ctx
+	// Value is the domain of object states and operation values.
+	Value = sim.Value
+	// Object is a shared object (a sequential state machine).
+	Object = sim.Object
+	// Invocation is one operation request.
+	Invocation = sim.Invocation
+	// Response is an operation's outcome.
+	Response = sim.Response
+	// Result is a run's outcome.
+	Result = sim.Result
+	// Scheduler chooses the interleaving.
+	Scheduler = sim.Scheduler
+	// Trace is a run's recorded event history.
+	Trace = sim.Trace
+)
+
+// Run executes one simulated run; see sim.Run.
+func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
+
+// NewRoundRobin returns the fair cyclic scheduler.
+func NewRoundRobin() Scheduler { return sim.NewRoundRobin() }
+
+// NewRandomScheduler returns the seeded uniform scheduler.
+func NewRandomScheduler(seed int64) Scheduler { return sim.NewRandom(seed) }
+
+// NewFixedSchedule returns a scheduler replaying the given process order.
+func NewFixedSchedule(order ...int) Scheduler { return sim.NewFixed(order...) }
+
+// WRN objects (paper §3).
+type (
+	// WRN is the deterministic WriteAndReadNext object WRN_k.
+	WRN = wrn.Object
+	// OneShotWRN is the one-shot variant 1sWRN_k.
+	OneShotWRN = wrn.OneShot
+	// WRNRef is a typed handle to a (1s)WRN object in a run.
+	WRNRef = wrn.Ref
+	// WRNImpl is Algorithm 5: linearizable 1sWRN_k from strong set
+	// election and registers.
+	WRNImpl = wrn.Impl
+)
+
+// Bottom is the distinguished ⊥ value of WRN cells.
+var Bottom = wrn.Bottom
+
+// IsBottom reports whether v is ⊥.
+func IsBottom(v Value) bool { return wrn.IsBottom(v) }
+
+// NewWRN returns a fresh WRN_k object.
+func NewWRN(k int) *WRN { return wrn.New(k) }
+
+// NewOneShotWRN returns a fresh 1sWRN_k object.
+func NewOneShotWRN(k int) *OneShotWRN { return wrn.NewOneShot(k) }
+
+// Set consensus (paper §2, §4, §7.1).
+type (
+	// SetConsensusObject is the nondeterministic (n,k)-set consensus
+	// object.
+	SetConsensusObject = setconsensus.Object
+	// Alg3 is the (k−1)-set consensus protocol for k participants out of
+	// a large name space.
+	Alg3 = setconsensus.Alg3
+	// Alg6 is the m-set consensus protocol for n processes from WRN_k.
+	Alg6 = setconsensus.Alg6
+	// IndexFamily is Algorithm 3's family of index mappings.
+	IndexFamily = setconsensus.IndexFamily
+)
+
+// NewSetConsensusObject returns a fresh (n,k)-set consensus object.
+func NewSetConsensusObject(n, k int) *SetConsensusObject { return setconsensus.NewObject(n, k) }
+
+// NewAlg2 registers a 1sWRN_k object and returns the k Algorithm 2
+// programs, one per proposal.
+func NewAlg2(objects map[string]Object, name string, vs []Value) []Program {
+	return setconsensus.NewAlg2(objects, name, vs)
+}
+
+// NewAlg3 registers Algorithm 3's shared state and returns the protocol.
+func NewAlg3(objects map[string]Object, name string, k, m int, family IndexFamily) Alg3 {
+	a, _ := setconsensus.NewAlg3(objects, name, k, m, family)
+	return a
+}
+
+// CoveringFamily returns the compact index-mapping family for Algorithm 3.
+func CoveringFamily(k int) IndexFamily { return setconsensus.CoveringFamily(k) }
+
+// NewAlg6 registers Algorithm 6's objects and returns the protocol.
+func NewAlg6(objects map[string]Object, name string, n, k int) Alg6 {
+	return setconsensus.NewAlg6(objects, name, n, k)
+}
+
+// Alg6Guarantee returns the agreement bound Algorithm 6 achieves.
+func Alg6Guarantee(n, k int) int { return setconsensus.Guarantee(n, k) }
+
+// NewWRNImpl registers Algorithm 5's shared state and returns the
+// linearizable 1sWRN_k implementation.
+func NewWRNImpl(objects map[string]Object, name string, k int) WRNImpl {
+	return wrn.NewImpl(objects, name, k)
+}
+
+// NewStrongElection returns the (k, k−1)-strong set election object.
+func NewStrongElection(k int) Object { return election.NewStrongObject(k) }
+
+// NewRenaming registers a wait-free M-to-(2k−1) renaming protocol.
+func NewRenaming(objects map[string]Object, name string, m int) renaming.Protocol {
+	return renaming.New(objects, name, m)
+}
+
+// NewSnapshot registers an atomic snapshot object and returns its handle.
+func NewSnapshot(objects map[string]Object, name string, n int, initial Value) snapshot.Snapshotter {
+	return snapshot.NewObjectHandle(objects, name, n, initial)
+}
+
+// Tasks and checking.
+type (
+	// Task judges decision vectors.
+	Task = tasks.Task
+	// Outcome is a run's inputs and decisions.
+	Outcome = tasks.Outcome
+	// SetConsensusTask is the k-set consensus task.
+	SetConsensusTask = tasks.SetConsensus
+)
+
+// OutcomeFromResult assembles an Outcome from a run result.
+func OutcomeFromResult(res *Result, participants map[int]Value) Outcome {
+	return tasks.OutcomeFromResult(res, participants)
+}
+
+// Linearizability checking.
+type (
+	// LinOp is one completed operation interval.
+	LinOp = linearize.Op
+	// LinSpec is a sequential specification.
+	LinSpec = linearize.Spec
+)
+
+// LinOps extracts the completed logical operations on an object from a
+// trace.
+func LinOps(t Trace, object string) []LinOp { return linearize.Ops(t, object) }
+
+// LinCheck searches for a linearization of ops under spec.
+func LinCheck(spec LinSpec, ops []LinOp) bool { return linearize.Check(spec, ops).OK }
+
+// WRNSpec returns the sequential specification of 1sWRN_k for LinCheck.
+func WRNSpec(k int) LinSpec { return wrn.Spec(k) }
+
+// Model checking.
+type (
+	// Factory builds fresh configurations for exhaustive exploration.
+	Factory = modelcheck.Factory
+	// Execution is one explored complete run.
+	Execution = modelcheck.Execution
+)
+
+// Explore enumerates every execution of the configuration.
+func Explore(f Factory, limit int, visit func(e Execution) error) (int, error) {
+	return modelcheck.Explore(f, limit, visit)
+}
+
+// Hierarchy calculus (the paper's primary contribution).
+type (
+	// SetCons identifies an (N,K)-set consensus object.
+	SetCons = core.SetCons
+	// Ordering compares synchronization power.
+	Ordering = core.Ordering
+	// Family is the O(n,k) hierarchy at consensus level n.
+	Family = core.Family
+)
+
+// Power-comparison orderings.
+const (
+	Equivalent   = core.Equivalent
+	Stronger     = core.Stronger
+	Weaker       = core.Weaker
+	Incomparable = core.Incomparable
+)
+
+// Implements reports Theorem 41: whether (n,k)-set consensus is wait-free
+// implementable from (m,j)-set consensus objects and registers.
+func Implements(m, j, n, k int) bool { return core.Implements(m, j, n, k) }
+
+// MinAgreement returns the optimal agreement bound for n processes from
+// (m,j)-set consensus objects and registers.
+func MinAgreement(n, m, j int) int { return core.MinAgreement(n, m, j) }
+
+// Compare orders two set-consensus objects by implementability.
+func Compare(a, b SetCons) Ordering { return core.Compare(a, b) }
+
+// WRNEquivalent returns (k,k−1)-set consensus, the power of 1sWRN_k
+// (Theorem 2).
+func WRNEquivalent(k int) SetCons { return core.WRNEquivalent(k) }
+
+// WRNConsensusNumber returns WRN_k's consensus number (Theorem 1).
+func WRNConsensusNumber(k int) int { return core.WRNConsensusNumber(k) }
+
+// NewSafeAgreement registers a Borowsky–Gafni safe-agreement instance for
+// n proposer slots (the BG simulation building block).
+func NewSafeAgreement(objects map[string]Object, name string, n int) safeagreement.Instance {
+	return safeagreement.New(objects, name, n)
+}
+
+// BGProtocol is a round-based snapshot protocol for the BG simulation.
+type BGProtocol = bgsim.Protocol
+
+// NewBGSimulation registers a BG simulation of len(inputs) simulated
+// processes by n simulators.
+func NewBGSimulation(objects map[string]Object, name string, n int, inputs []Value, proto BGProtocol) bgsim.Simulation {
+	return bgsim.New(objects, name, n, inputs, proto, 0)
+}
+
+// NewImmediateSnapshot registers a one-shot immediate snapshot instance
+// for n participant slots.
+func NewImmediateSnapshot(objects map[string]Object, name string, n int) immediate.Protocol {
+	return immediate.New(objects, name, n)
+}
+
+// NewIteratedSnapshot registers an n-participant, r-round iterated
+// immediate snapshot instance.
+func NewIteratedSnapshot(objects map[string]Object, name string, n, rounds int) iterated.Protocol {
+	return iterated.New(objects, name, n, rounds)
+}
+
+// PowerClasses partitions the set-consensus objects with n ≤ maxN into
+// equivalence classes under mutual implementability; every class turns
+// out to be a singleton — the paper's "wealth", quantified.
+func PowerClasses(maxN int) [][]SetCons { return core.Classes(maxN) }

@@ -1,0 +1,28 @@
+// Package detobj is a Go reproduction of the theory of deterministic
+// sub-consensus objects from "Deterministic Objects: Life Beyond
+// Consensus" (Afek, Ellen, Gafni; PODC 2016) and its companion
+// "A Wealth of Sub-Consensus Deterministic Objects" (Daian, Losa, Afek,
+// Gafni; DISC 2018).
+//
+// The library has three layers, all re-exported here for downstream use:
+//
+//   - A deterministic lockstep simulator of the asynchronous shared-memory
+//     model (Config, Run, schedulers, traces), with base objects
+//     (registers, counters, snapshots) and task checkers (consensus,
+//     k-set consensus, election, renaming).
+//
+//   - The paper's objects and algorithms: the deterministic WRN_k and
+//     1sWRN_k objects, Algorithm 2/3/6 set-consensus protocols, the
+//     relaxed WRN wrapper, and the linearizable 1sWRN implementation from
+//     strong set election, plus a linearizability checker and a model
+//     checker (exhaustive exploration, valency analysis, and the
+//     mechanized Lemma 38 indistinguishability engine).
+//
+//   - The synchronization-power calculus: the Theorem 41 implementability
+//     predicate, the 1sWRN hierarchy between registers and 2-consensus
+//     (Corollary 42), and the O(n,k) conjunction-object hierarchy at every
+//     consensus level n ≥ 2.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced results.
+package detobj

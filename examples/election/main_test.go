@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestElectionRuns(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Coordinator election") {
+		t.Error("missing header")
+	}
+	if strings.Contains(out, "false") {
+		t.Errorf("a round exceeded the coordinator bound:\n%s", out)
+	}
+	if got := strings.Count(out, "true"); got != 5 {
+		t.Errorf("%d successful rounds, want 5", got)
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHierarchyExplorerRuns(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Platform primitive",
+		"Upgrade analysis",
+		"O(3,1)",
+		"consensus number 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

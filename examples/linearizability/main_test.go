@@ -1,0 +1,20 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinearizabilityExampleRuns(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	if got := strings.Count(out, "linearization:"); got != 4 {
+		t.Errorf("%d linearizations printed, want 4", got)
+	}
+	if !strings.Contains(out, "rejected") {
+		t.Error("corrupted-history rejection missing")
+	}
+}

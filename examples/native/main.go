@@ -1,0 +1,86 @@
+// Native: the paper's objects in a real concurrent program — no
+// simulator, just goroutines.
+//
+// A fleet of 12 workers must converge on a small set of configuration
+// epochs (at most 8 distinct, per the paper's §7.1 ratio), and a dynamic
+// trio of nodes out of 32 must narrow themselves to at most 2
+// coordinators (Algorithm 3). Both run here with plain goroutines on the
+// race-detector-clean native package.
+//
+// Run with: go run ./examples/native
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"detobj/native"
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "native:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
+	// Part 1: Algorithm 6 — 12 workers, WRN_3 groups, at most 8 epochs.
+	const workers, k = 12, 3
+	sc := native.NewSetConsensus(workers, k)
+	fmt.Fprintf(w, "Algorithm 6 natively: %d goroutines, guarantee %d distinct epochs\n", workers, sc.Guarantee())
+
+	decisions := make([]any, workers)
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := sc.Propose(id, fmt.Sprintf("epoch-%d", id))
+			if err == nil {
+				decisions[id] = out
+			}
+		}()
+	}
+	wg.Wait()
+	distinct := map[any]bool{}
+	for _, d := range decisions {
+		distinct[d] = true
+	}
+	fmt.Fprintf(w, "  %d goroutines converged on %d epochs (bound %d)\n\n", workers, len(distinct), sc.Guarantee())
+	if len(distinct) > sc.Guarantee() {
+		return fmt.Errorf("guarantee violated")
+	}
+
+	// Part 2: Algorithm 3 — three nodes out of 32 elect ≤ 2 coordinators.
+	e := native.NewElection(3, 32)
+	nodes := []int{7, 19, 28}
+	fmt.Fprintf(w, "Algorithm 3 natively: nodes %v of 32 elect coordinators\n", nodes)
+	coords := make([]any, len(nodes))
+	for p, id := range nodes {
+		p, id := p, id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := e.Propose(id, id)
+			if err == nil {
+				coords[p] = out
+			}
+		}()
+	}
+	wg.Wait()
+	leaders := map[any]bool{}
+	for _, c := range coords {
+		leaders[c] = true
+	}
+	fmt.Fprintf(w, "  decisions %v — %d coordinator(s), bound 2\n", coords, len(leaders))
+	if len(leaders) > 2 {
+		return fmt.Errorf("coordinator bound violated")
+	}
+	fmt.Fprintln(w, "\nThe same algorithms were verified exhaustively in the simulator;")
+	fmt.Fprintln(w, "here they run on real shared memory, race-detector clean.")
+	return nil
+}

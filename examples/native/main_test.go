@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNativeExampleRuns(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		var b strings.Builder
+		if err := run(&b); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		out := b.String()
+		if !strings.Contains(out, "guarantee 8") {
+			t.Errorf("missing guarantee line:\n%s", out)
+		}
+		if !strings.Contains(out, "coordinator") {
+			t.Errorf("missing coordinator line:\n%s", out)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: solve (k−1)-set consensus among k processes with a single
+// one-shot WRN_k object (the paper's Algorithm 2), using only the public
+// detobj API.
+//
+// Five replicas must each adopt a configuration version, and at most four
+// distinct versions may survive — strictly fewer choices than processes,
+// which registers alone provably cannot guarantee, yet no consensus
+// hardware is needed.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"detobj"
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
+	const k = 5
+	proposals := []detobj.Value{"v1.0", "v1.1", "v2.0", "v2.1", "v3.0"}
+
+	fmt.Fprintf(w, "Algorithm 2: %d replicas, one 1sWRN_%d object, at most %d surviving versions\n\n", k, k, k-1)
+	fmt.Fprintln(w, "schedule        decisions                          distinct")
+
+	inputs := map[int]detobj.Value{}
+	for i, v := range proposals {
+		inputs[i] = v
+	}
+	task := detobj.SetConsensusTask{K: k - 1}
+
+	for seed := int64(0); seed < 8; seed++ {
+		objects := map[string]detobj.Object{}
+		programs := detobj.NewAlg2(objects, "W", proposals)
+		res, err := detobj.Run(detobj.Config{
+			Objects:   objects,
+			Programs:  programs,
+			Scheduler: detobj.NewRandomScheduler(seed),
+		})
+		if err != nil {
+			return err
+		}
+		outcome := detobj.OutcomeFromResult(res, inputs)
+		if err := task.Check(outcome); err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		fmt.Fprintf(w, "random(seed=%d)  %-34s %d\n", seed, fmt.Sprint(res.Outputs), outcome.DistinctOutputs())
+	}
+
+	fmt.Fprintln(w, "\nWhy this is interesting (the paper's theorems):")
+	fmt.Fprintf(w, "  WRN_%d consensus number: %d — it cannot make two processes agree\n", k, detobj.WRNConsensusNumber(k))
+	fmt.Fprintf(w, "  yet 1sWRN_%d ≡ %v, which registers cannot solve\n", k, detobj.WRNEquivalent(k))
+	fmt.Fprintf(w, "  can 1sWRN_%d implement 2-consensus? %v\n", k, detobj.Implements(k, k-1, 2, 1))
+	return nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartRuns(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Algorithm 2") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "consensus number: 1") {
+		t.Error("missing consensus-number line")
+	}
+	if !strings.Contains(out, "2-consensus? false") {
+		t.Error("missing the negative 2-consensus answer")
+	}
+}

@@ -1,0 +1,3 @@
+module detobj
+
+go 1.22

@@ -1,0 +1,179 @@
+package detobj_test
+
+// Cross-package integration tests: tightness of the calculus bounds
+// (adversarial object choices force the worst case exactly), and
+// whole-stack campaigns mixing every layer of the library.
+
+import (
+	"fmt"
+	"testing"
+
+	"detobj/internal/core"
+	"detobj/internal/setconsensus"
+	"detobj/internal/sim"
+	"detobj/internal/tasks"
+	"detobj/internal/wrn"
+)
+
+// maxChoice is the adversarial choice source for set-consensus objects:
+// it always admits a new value into the decision set (Intn(2) = 1) and
+// always returns the newest member (Intn(len) = len−1), so every proposer
+// that can diverge does.
+type maxChoice struct{}
+
+func (maxChoice) Intn(n int) int { return n - 1 }
+
+// TestTheorem41BoundIsTight: under the adversarial choice source, the
+// partition protocol produces EXACTLY MinAgreement(n,m,j) distinct
+// decisions — the characterization is an equality, not just an upper
+// bound.
+func TestTheorem41BoundIsTight(t *testing.T) {
+	cases := []struct{ n, m, j int }{
+		{5, 3, 2}, {7, 3, 2}, {12, 3, 2}, {9, 4, 2}, {10, 4, 3}, {8, 8, 3},
+	}
+	for _, c := range cases {
+		want := core.MinAgreement(c.n, c.m, c.j)
+		objects := map[string]sim.Object{}
+		vs := make([]sim.Value, c.n)
+		inputs := map[int]sim.Value{}
+		for i := range vs {
+			vs[i] = i * 100
+			inputs[i] = vs[i]
+		}
+		progs := core.PartitionPrograms(objects, "P", c.m, c.j, vs)
+		res, err := sim.Run(sim.Config{
+			Objects:  objects,
+			Programs: progs,
+			Choice:   maxChoice{},
+		})
+		if err != nil {
+			t.Fatalf("n=%d m=%d j=%d: %v", c.n, c.m, c.j, err)
+		}
+		o := tasks.OutcomeFromResult(res, inputs)
+		if got := o.DistinctOutputs(); got != want {
+			t.Errorf("n=%d m=%d j=%d: %d distinct decisions under the adversary, want exactly %d",
+				c.n, c.m, c.j, got, want)
+		}
+	}
+}
+
+// TestConjPowerBoundIsTight: same tightness for the conjunction calculus.
+// Consensus cells admit no divergence, so the adversary acts only through
+// the set-consensus groups.
+func TestConjPowerBoundIsTight(t *testing.T) {
+	cases := []struct{ n, consN, m, j int }{
+		{6, 2, 8, 2}, {16, 2, 8, 2}, {9, 3, 4, 2}, {7, 3, 100, 2},
+	}
+	for _, c := range cases {
+		want := core.ConjPower(c.n, c.consN, c.m, c.j)
+		objects := map[string]sim.Object{}
+		vs := make([]sim.Value, c.n)
+		inputs := map[int]sim.Value{}
+		for i := range vs {
+			vs[i] = i * 100
+			inputs[i] = vs[i]
+		}
+		progs := core.ConjPrograms(objects, "C", c.consN, c.m, c.j, vs)
+		res, err := sim.Run(sim.Config{
+			Objects:  objects,
+			Programs: progs,
+			Choice:   maxChoice{},
+		})
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		o := tasks.OutcomeFromResult(res, inputs)
+		if got := o.DistinctOutputs(); got != want {
+			t.Errorf("%+v: %d distinct under the adversary, want exactly %d", c, got, want)
+		}
+	}
+}
+
+// TestAlg2BoundIsTightEveryK: for each k, SOME schedule of Algorithm 2
+// produces exactly k−1 distinct decisions (the decreasing-index order
+// does: each process reads its successor's already-written value, except
+// the first).
+func TestAlg2BoundIsTightEveryK(t *testing.T) {
+	for k := 3; k <= 10; k++ {
+		objects := map[string]sim.Object{}
+		vs := make([]sim.Value, k)
+		inputs := map[int]sim.Value{}
+		for i := range vs {
+			vs[i] = i * 10
+			inputs[i] = vs[i]
+		}
+		progs := setconsensus.NewAlg2(objects, "W", vs)
+		// Schedule k-1, k-2, ..., 0: process i runs after its successor.
+		order := make([]int, k)
+		for i := range order {
+			order[i] = k - 1 - i
+		}
+		res, err := sim.Run(sim.Config{
+			Objects:   objects,
+			Programs:  progs,
+			Scheduler: sim.NewFixed(order...),
+		})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		o := tasks.OutcomeFromResult(res, inputs)
+		if got := o.DistinctOutputs(); got != k-1 {
+			t.Errorf("k=%d: decreasing schedule gave %d distinct, want exactly %d", k, got, k-1)
+		}
+	}
+}
+
+// TestWholeStackCampaign: a randomized campaign across the full library —
+// Algorithm 3 over relaxed WRN over Algorithm 5's implementation over the
+// strong-election object, judged by the task checker — across many seeds
+// and participant sets.
+func TestWholeStackCampaign(t *testing.T) {
+	const k, m = 3, 24
+	family := setconsensus.CoveringFamily(k)
+	task := tasks.SetConsensus{K: k - 1}
+	for trial := 0; trial < 12; trial++ {
+		ids := []int{(trial * 5) % m, (trial*5 + 7) % m, (trial*5 + 13) % m}
+		objects := map[string]sim.Object{}
+		a := setconsensus.NewAlg3Over(objects, "S", k, m, family, func(instName string, k int) wrn.Relaxed {
+			impl := wrn.NewImpl(objects, instName, k)
+			return wrn.NewRelaxedOver(objects, instName+".cnt", k, impl)
+		})
+		inputs := map[int]sim.Value{}
+		progs := make([]sim.Program, k)
+		for p, id := range ids {
+			v := fmt.Sprintf("input-%d", id)
+			inputs[p] = v
+			progs[p] = a.Program(id, v)
+		}
+		res, err := sim.Run(sim.Config{
+			Objects:   objects,
+			Programs:  progs,
+			Scheduler: sim.NewRandom(int64(trial) * 97),
+			Seed:      int64(trial),
+			MaxSteps:  1 << 21,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !res.AllDone() {
+			t.Fatalf("trial %d: %v", trial, res.Status)
+		}
+		o := tasks.OutcomeFromResult(res, inputs)
+		if err := task.Check(o); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestCalculusMatchesAlgorithmGuarantee: cross-package agreement between
+// internal/core's formula and internal/setconsensus's Algorithm 6 bound
+// (asserted at the repository level because core stays import-light).
+func TestCalculusMatchesAlgorithmGuarantee(t *testing.T) {
+	for n := 3; n <= 30; n++ {
+		for k := 3; k <= 7; k++ {
+			if got, want := core.MinAgreement(n, k, k-1), setconsensus.Guarantee(n, k); got != want {
+				t.Errorf("n=%d k=%d: MinAgreement %d vs Guarantee %d", n, k, got, want)
+			}
+		}
+	}
+}

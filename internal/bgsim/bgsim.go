@@ -1,0 +1,204 @@
+// Package bgsim implements the Borowsky–Gafni simulation: n simulators
+// jointly execute an m-process round-based snapshot protocol, agreeing on
+// every simulated scan through safe agreement. The simulation is the
+// engine behind two results the paper leans on — the equivalence of k-set
+// election and k-strong set election [9] and the set-consensus
+// implementability characterization ([16], Theorem 41) — and this package
+// reproduces its guarantees directly:
+//
+//   - consistency: all simulators observe identical agreed scans, hence
+//     identical simulated outputs;
+//   - validity: every agreed scan is a view some simulator atomically
+//     derived from the shared simulated memory, so the simulated execution
+//     is a legal execution of the protocol;
+//   - t-resilience: a simulator that crashes blocks at most one simulated
+//     process (the one whose safe-agreement window it died inside);
+//     simulated processes whose agreements are untouched keep running.
+//
+// Simulated memory is represented as one snapshot slot per (simulator,
+// simulated process) pair; all simulators deterministically compute the
+// same round-r write for a process, so duplicate copies agree, and a real
+// scan projects to the simulated view by taking each process's
+// highest-round copy.
+package bgsim
+
+import (
+	"fmt"
+
+	"detobj/internal/safeagreement"
+	"detobj/internal/sim"
+	"detobj/internal/snapshot"
+)
+
+// Protocol is a deterministic round-based snapshot protocol for m
+// simulated processes: in round r a process writes Write(p, input,
+// previous scans) to its cell and then scans the memory; after Rounds
+// scans it decides Decide(p, input, scans).
+type Protocol struct {
+	Rounds int
+	Write  func(p int, input sim.Value, scans [][]sim.Value) sim.Value
+	Decide func(p int, input sim.Value, scans [][]sim.Value) sim.Value
+}
+
+// memCell is one simulator's copy of a simulated process's latest write.
+type memCell struct {
+	Round int
+	Val   sim.Value
+}
+
+// Simulation is the shared state of one BG simulation instance.
+type Simulation struct {
+	n, m      int
+	proto     Protocol
+	inputs    []sim.Value
+	mem       snapshot.Snapshotter
+	sas       [][]safeagreement.Instance
+	spinLimit int
+}
+
+// New registers the shared state of a BG simulation with n simulators
+// executing the protocol for the m = len(inputs) simulated processes.
+// spinLimit bounds how many full sweeps without progress a simulator
+// performs before concluding that every remaining simulated process is
+// blocked by a crashed simulator; 0 selects a default suitable for tests.
+func New(objects map[string]sim.Object, name string, n int, inputs []sim.Value, proto Protocol, spinLimit int) Simulation {
+	if n < 1 || len(inputs) < 1 {
+		panic(fmt.Sprintf("bgsim: n = %d, m = %d", n, len(inputs)))
+	}
+	if proto.Rounds < 1 || proto.Write == nil || proto.Decide == nil {
+		panic("bgsim: protocol needs Rounds >= 1, Write and Decide")
+	}
+	if spinLimit <= 0 {
+		spinLimit = 200
+	}
+	m := len(inputs)
+	s := Simulation{
+		n:         n,
+		m:         m,
+		proto:     proto,
+		inputs:    append([]sim.Value(nil), inputs...),
+		mem:       snapshot.NewObjectHandle(objects, name+".mem", n*m, nil),
+		spinLimit: spinLimit,
+	}
+	s.sas = make([][]safeagreement.Instance, m)
+	for p := 0; p < m; p++ {
+		s.sas[p] = make([]safeagreement.Instance, proto.Rounds)
+		for r := 0; r < proto.Rounds; r++ {
+			s.sas[p][r] = safeagreement.New(objects, fmt.Sprintf("%s.sa[%d][%d]", name, p, r), n)
+		}
+	}
+	return s
+}
+
+// M returns the number of simulated processes.
+func (s Simulation) M() int { return s.m }
+
+// Outputs is the result a simulator reports: the decisions of the
+// simulated processes it completed (nil entries are blocked processes).
+type Outputs []sim.Value
+
+// slot returns the memory slot of simulator i's copy for process p.
+func (s Simulation) slot(i, p int) int { return i*s.m + p }
+
+// derive projects a raw scan of all copies to the simulated view: each
+// process's highest-round value.
+func (s Simulation) derive(raw []sim.Value) []sim.Value {
+	view := make([]sim.Value, s.m)
+	best := make([]int, s.m)
+	for p := range best {
+		best[p] = -1
+	}
+	for i := 0; i < s.n; i++ {
+		for p := 0; p < s.m; p++ {
+			cellRaw := raw[s.slot(i, p)]
+			if cellRaw == nil {
+				continue
+			}
+			cell := cellRaw.(memCell)
+			if cell.Round > best[p] {
+				best[p] = cell.Round
+				view[p] = cell.Val
+			}
+		}
+	}
+	return view
+}
+
+// SimulatorProgram returns the program of simulator i. The simulator
+// sweeps over the simulated processes, advancing each by one (write,
+// agreed-scan) round per visit, skipping processes whose safe agreement is
+// momentarily unresolved; it returns the Outputs vector when every
+// simulated process has decided, or when spinLimit sweeps pass with no
+// progress (every survivor decided, the rest blocked by crashes).
+func (s Simulation) SimulatorProgram(i int) sim.Program {
+	return func(ctx *sim.Ctx) sim.Value {
+		scans := make([][][]sim.Value, s.m) // scans[p][r]
+		written := make([]int, s.m)         // rounds written to my copy
+		proposed := make([][]bool, s.m)
+		outputs := make(Outputs, s.m)
+		decided := make([]bool, s.m)
+		for p := 0; p < s.m; p++ {
+			written[p] = -1
+			proposed[p] = make([]bool, s.proto.Rounds)
+		}
+		decidedCount := 0
+		idle := 0
+		for decidedCount < s.m && idle < s.spinLimit {
+			progress := false
+			for p := 0; p < s.m; p++ {
+				if decided[p] {
+					continue
+				}
+				r := len(scans[p])
+				// Has someone already resolved this round's scan?
+				if v, ok := s.sas[p][r].Resolve(ctx); ok {
+					s.advance(ctx, p, v, scans, &outputs, decided, &decidedCount)
+					progress = true
+					continue
+				}
+				// Publish p's round-r write in my copy (idempotent across
+				// simulators: the value is deterministic from agreed scans).
+				if written[p] < r {
+					v := s.proto.Write(p, s.inputs[p], scans[p])
+					s.mem.Update(ctx, s.slot(i, p), memCell{Round: r, Val: v})
+					written[p] = r
+				}
+				if !proposed[p][r] {
+					view := s.derive(s.mem.Scan(ctx))
+					s.sas[p][r].Propose(ctx, i, view)
+					proposed[p][r] = true
+				}
+				if v, ok := s.sas[p][r].Resolve(ctx); ok {
+					s.advance(ctx, p, v, scans, &outputs, decided, &decidedCount)
+					progress = true
+				}
+			}
+			if progress {
+				idle = 0
+			} else {
+				idle++
+			}
+		}
+		return outputs
+	}
+}
+
+// advance installs the agreed round scan for p and decides p if it has
+// completed all rounds.
+func (s Simulation) advance(_ *sim.Ctx, p int, agreed sim.Value, scans [][][]sim.Value, outputs *Outputs, decided []bool, decidedCount *int) {
+	scans[p] = append(scans[p], agreed.([]sim.Value))
+	if len(scans[p]) == s.proto.Rounds {
+		(*outputs)[p] = s.proto.Decide(p, s.inputs[p], scans[p])
+		decided[p] = true
+		*decidedCount++
+	}
+}
+
+// Programs returns all n simulator programs.
+func (s Simulation) Programs() []sim.Program {
+	progs := make([]sim.Program, s.n)
+	for i := 0; i < s.n; i++ {
+		progs[i] = s.SimulatorProgram(i)
+	}
+	return progs
+}

@@ -1,0 +1,328 @@
+package bgsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"detobj/internal/sim"
+)
+
+// participatingSet is the 1-round protocol: write your input, scan, decide
+// the set of inputs you saw (sorted, comma-joined). Its task guarantees:
+// every decision contains the decider's own input, and all decisions are
+// totally ordered by set inclusion (scans of a monotone memory).
+func participatingSet() Protocol {
+	return Protocol{
+		Rounds: 1,
+		Write: func(_ int, input sim.Value, _ [][]sim.Value) sim.Value {
+			return input
+		},
+		Decide: func(_ int, _ sim.Value, scans [][]sim.Value) sim.Value {
+			return joinView(scans[0])
+		},
+	}
+}
+
+func joinView(view []sim.Value) string {
+	var seen []string
+	for _, v := range view {
+		if v != nil {
+			seen = append(seen, fmt.Sprint(v))
+		}
+	}
+	sort.Strings(seen)
+	return strings.Join(seen, ",")
+}
+
+// twoRound extends it: round 2 writes how many inputs were seen in round
+// 1; the decision pairs both views.
+func twoRound() Protocol {
+	return Protocol{
+		Rounds: 2,
+		Write: func(_ int, input sim.Value, scans [][]sim.Value) sim.Value {
+			if len(scans) == 0 {
+				return input
+			}
+			return fmt.Sprintf("saw%d", strings.Count(joinView(scans[0]), ",")+1)
+		},
+		Decide: func(_ int, _ sim.Value, scans [][]sim.Value) sim.Value {
+			return joinView(scans[0]) + "|" + joinView(scans[1])
+		},
+	}
+}
+
+func inputsFor(m int) []sim.Value {
+	vs := make([]sim.Value, m)
+	for i := range vs {
+		vs[i] = string(rune('a' + i))
+	}
+	return vs
+}
+
+// runBG runs n simulators over the protocol and returns per-simulator
+// outputs.
+func runBG(t *testing.T, n int, inputs []sim.Value, proto Protocol, sched sim.Scheduler) []Outputs {
+	t.Helper()
+	objects := map[string]sim.Object{}
+	s := New(objects, "BG", n, inputs, proto, 0)
+	res, err := sim.Run(sim.Config{
+		Objects:   objects,
+		Programs:  s.Programs(),
+		Scheduler: sched,
+		MaxSteps:  1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	outs := make([]Outputs, n)
+	for i := 0; i < n; i++ {
+		if res.Status[i] == sim.StatusDone {
+			outs[i] = res.Outputs[i].(Outputs)
+		}
+	}
+	return outs
+}
+
+// checkLattice verifies the participating-set task on one simulator's
+// outputs: self-inclusion and total order by inclusion.
+func checkLattice(t *testing.T, inputs []sim.Value, out Outputs, label string) {
+	t.Helper()
+	sets := make([]map[string]bool, len(out))
+	for p, o := range out {
+		if o == nil {
+			continue
+		}
+		sets[p] = map[string]bool{}
+		for _, v := range strings.Split(o.(string), ",") {
+			sets[p][v] = true
+		}
+		if !sets[p][fmt.Sprint(inputs[p])] {
+			t.Errorf("%s: process %d decided %q without its own input %v", label, p, o, inputs[p])
+		}
+	}
+	for a := range sets {
+		for b := range sets {
+			if sets[a] == nil || sets[b] == nil {
+				continue
+			}
+			if !subset(sets[a], sets[b]) && !subset(sets[b], sets[a]) {
+				t.Errorf("%s: decisions %v and %v incomparable", label, out[a], out[b])
+			}
+		}
+	}
+}
+
+func subset(a, b map[string]bool) bool {
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBGAllLive: with every simulator live, all simulated processes decide
+// on every simulator, all simulators agree, and the simulated outputs
+// satisfy the participating-set task.
+func TestBGAllLive(t *testing.T) {
+	inputs := inputsFor(4)
+	for seed := int64(0); seed < 30; seed++ {
+		outs := runBG(t, 3, inputs, participatingSet(), sim.NewRandom(seed))
+		for i, out := range outs {
+			if out == nil {
+				t.Fatalf("seed %d: simulator %d did not finish", seed, i)
+			}
+			for p, o := range out {
+				if o == nil {
+					t.Fatalf("seed %d: simulator %d left process %d undecided", seed, i, p)
+				}
+			}
+			checkLattice(t, inputs, out, fmt.Sprintf("seed %d sim %d", seed, i))
+		}
+		// Cross-simulator consistency.
+		for i := 1; i < len(outs); i++ {
+			for p := range outs[i] {
+				if outs[i][p] != outs[0][p] {
+					t.Fatalf("seed %d: simulators disagree on process %d: %v vs %v",
+						seed, p, outs[i][p], outs[0][p])
+				}
+			}
+		}
+	}
+}
+
+// TestBGMoreSimulatorsThanProcesses and vice versa.
+func TestBGShapes(t *testing.T) {
+	cases := []struct{ n, m int }{{1, 3}, {5, 2}, {2, 2}, {4, 6}}
+	for _, c := range cases {
+		inputs := inputsFor(c.m)
+		outs := runBG(t, c.n, inputs, participatingSet(), sim.NewRandom(7))
+		for i, out := range outs {
+			if out == nil {
+				t.Fatalf("n=%d m=%d: simulator %d unfinished", c.n, c.m, i)
+			}
+			checkLattice(t, inputs, out, fmt.Sprintf("n=%d m=%d sim %d", c.n, c.m, i))
+		}
+	}
+}
+
+// TestBGTwoRounds: the two-round protocol stays consistent across
+// simulators, and round-2 views dominate round-1 views.
+func TestBGTwoRounds(t *testing.T) {
+	inputs := inputsFor(3)
+	for seed := int64(0); seed < 20; seed++ {
+		outs := runBG(t, 3, inputs, twoRound(), sim.NewRandom(seed))
+		for i, out := range outs {
+			if out == nil {
+				t.Fatalf("seed %d: simulator %d unfinished", seed, i)
+			}
+			for p, o := range out {
+				if o == nil {
+					t.Fatalf("seed %d: sim %d process %d undecided", seed, i, p)
+				}
+				if outs[0][p] != o {
+					t.Fatalf("seed %d: disagreement on %d", seed, p)
+				}
+			}
+		}
+	}
+}
+
+// TestBGCrashFromStartHarmless: simulators crashed before their first step
+// never open a safe-agreement window, so every simulated process still
+// decides on the survivors.
+func TestBGCrashFromStartHarmless(t *testing.T) {
+	inputs := inputsFor(4)
+	for seed := int64(0); seed < 20; seed++ {
+		objects := map[string]sim.Object{}
+		s := New(objects, "BG", 3, inputs, participatingSet(), 0)
+		res, err := sim.Run(sim.Config{
+			Objects:   objects,
+			Programs:  s.Programs(),
+			Scheduler: sim.NewCrashing(sim.NewRandom(seed), 1, 2),
+			MaxSteps:  1 << 20,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		out := res.Outputs[0].(Outputs)
+		for p, o := range out {
+			if o == nil {
+				t.Fatalf("seed %d: process %d blocked with no unsafe window open", seed, p)
+			}
+		}
+		checkLattice(t, inputs, out, fmt.Sprintf("seed %d", seed))
+	}
+}
+
+// TestBGCrashPointSweep is the t-resilience theorem made exhaustive for
+// one crash: simulator 0 crashes after exactly j steps, for every j up to
+// its natural completion; the survivor must always finish with at most ONE
+// simulated process blocked, and its decided outputs must satisfy the task.
+func TestBGCrashPointSweep(t *testing.T) {
+	inputs := inputsFor(3)
+	for j := 0; j <= 60; j++ {
+		objects := map[string]sim.Object{}
+		s := New(objects, "BG", 2, inputs, participatingSet(), 50)
+		order := make([]int, j)
+		for x := range order {
+			order[x] = 0
+		}
+		res, err := sim.Run(sim.Config{
+			Objects:   objects,
+			Programs:  s.Programs(),
+			Scheduler: &sim.Fixed{Order: order, Fallback: sim.NewCrashing(nil, 0)},
+			MaxSteps:  1 << 20,
+		})
+		if err != nil {
+			t.Fatalf("crash after %d steps: %v", j, err)
+		}
+		if res.Status[1] != sim.StatusDone {
+			t.Fatalf("crash after %d steps: survivor did not terminate: %v", j, res.Status[1])
+		}
+		out := res.Outputs[1].(Outputs)
+		blocked := 0
+		for _, o := range out {
+			if o == nil {
+				blocked++
+			}
+		}
+		if blocked > 1 {
+			t.Fatalf("crash after %d steps: %d simulated processes blocked, bound is 1 (outputs %v)",
+				j, blocked, out)
+		}
+		checkLattice(t, inputs, out, fmt.Sprintf("crash@%d", j))
+	}
+}
+
+func TestBGValidation(t *testing.T) {
+	objects := map[string]sim.Object{}
+	cases := []func(){
+		func() { New(objects, "x", 0, inputsFor(2), participatingSet(), 0) },
+		func() { New(objects, "x", 2, nil, participatingSet(), 0) },
+		func() { New(objects, "x", 2, inputsFor(2), Protocol{}, 0) },
+	}
+	for i, f := range cases {
+		f := f
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+	s := New(objects, "ok", 2, inputsFor(3), participatingSet(), 0)
+	if s.M() != 3 {
+		t.Errorf("M = %d", s.M())
+	}
+}
+
+// TestBGTwoCrashGridSweep (t = 2): simulators 0 and 1 crash after j0 and
+// j1 of their own steps respectively, over a grid of crash points; the
+// surviving simulator always terminates with at most TWO simulated
+// processes blocked.
+func TestBGTwoCrashGridSweep(t *testing.T) {
+	inputs := inputsFor(4)
+	for j0 := 0; j0 <= 40; j0 += 5 {
+		for j1 := 0; j1 <= 40; j1 += 5 {
+			objects := map[string]sim.Object{}
+			s := New(objects, "BG", 3, inputs, participatingSet(), 60)
+			// Schedule: 0 takes j0 steps, then 1 takes j1 steps, then both
+			// are crashed and 2 runs alone.
+			order := make([]int, 0, j0+j1)
+			for x := 0; x < j0; x++ {
+				order = append(order, 0)
+			}
+			for x := 0; x < j1; x++ {
+				order = append(order, 1)
+			}
+			res, err := sim.Run(sim.Config{
+				Objects:   objects,
+				Programs:  s.Programs(),
+				Scheduler: &sim.Fixed{Order: order, Fallback: sim.NewCrashing(nil, 0, 1)},
+				MaxSteps:  1 << 21,
+			})
+			if err != nil {
+				t.Fatalf("j0=%d j1=%d: %v", j0, j1, err)
+			}
+			if res.Status[2] != sim.StatusDone {
+				t.Fatalf("j0=%d j1=%d: survivor stuck: %v", j0, j1, res.Status[2])
+			}
+			out := res.Outputs[2].(Outputs)
+			blocked := 0
+			for _, o := range out {
+				if o == nil {
+					blocked++
+				}
+			}
+			if blocked > 2 {
+				t.Fatalf("j0=%d j1=%d: %d blocked, bound 2 (outputs %v)", j0, j1, blocked, out)
+			}
+			checkLattice(t, inputs, out, fmt.Sprintf("j0=%d j1=%d", j0, j1))
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package consensus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"detobj/internal/sim"
+)
+
+func TestQueueSequential(t *testing.T) {
+	q := NewQueue()
+	env := &sim.Env{}
+	if got := q.Apply(env, sim.Invocation{Op: "deq"}).Value; got != nil {
+		t.Errorf("deq of empty = %v", got)
+	}
+	q.Apply(env, sim.Invocation{Op: "enq", Args: []sim.Value{"a"}})
+	q.Apply(env, sim.Invocation{Op: "enq", Args: []sim.Value{"b"}})
+	if got := q.Apply(env, sim.Invocation{Op: "deq"}).Value; got != "a" {
+		t.Errorf("deq = %v, want a", got)
+	}
+	if got := q.Apply(env, sim.Invocation{Op: "deq"}).Value; got != "b" {
+		t.Errorf("deq = %v, want b", got)
+	}
+}
+
+func TestQueueValidation(t *testing.T) {
+	for _, inv := range []sim.Invocation{
+		{Op: "peek"},
+		{Op: "enq", Args: []sim.Value{nil}},
+	} {
+		inv := inv
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v did not panic", inv)
+				}
+			}()
+			NewQueue().Apply(&sim.Env{}, inv)
+		}()
+	}
+}
+
+// TestQuickQueueFIFO: random enq/deq sequences match a reference slice.
+func TestQuickQueueFIFO(t *testing.T) {
+	f := func(ops []int16) bool {
+		q := NewQueue()
+		var ref []sim.Value
+		env := &sim.Env{}
+		for _, op := range ops {
+			if op >= 0 {
+				q.Apply(env, sim.Invocation{Op: "enq", Args: []sim.Value{int(op)}})
+				ref = append(ref, int(op))
+				continue
+			}
+			got := q.Apply(env, sim.Invocation{Op: "deq"}).Value
+			var want sim.Value
+			if len(ref) > 0 {
+				want = ref[0]
+				ref = ref[1:]
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueCloneIndependent(t *testing.T) {
+	q := NewQueue("a")
+	cp := q.CloneObject().(*Queue)
+	cp.Apply(&sim.Env{}, sim.Invocation{Op: "deq"})
+	if q.StateKey() == cp.StateKey() {
+		t.Error("clone shares state with original")
+	}
+}
+
+func TestFetchAddSequential(t *testing.T) {
+	f := NewFetchAdd(5)
+	env := &sim.Env{}
+	if got := f.Apply(env, sim.Invocation{Op: "fad", Args: []sim.Value{3}}).Value; got != 5 {
+		t.Errorf("fad = %v, want 5", got)
+	}
+	if got := f.Apply(env, sim.Invocation{Op: "fad", Args: []sim.Value{-2}}).Value; got != 8 {
+		t.Errorf("fad = %v, want 8", got)
+	}
+	if f.StateKey() != "6" {
+		t.Errorf("state = %s", f.StateKey())
+	}
+}
+
+func TestFetchAddValidation(t *testing.T) {
+	for _, inv := range []sim.Invocation{
+		{Op: "add", Args: []sim.Value{1}},
+		{Op: "fad", Args: []sim.Value{"x"}},
+	} {
+		inv := inv
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v did not panic", inv)
+				}
+			}()
+			NewFetchAdd(0).Apply(&sim.Env{}, inv)
+		}()
+	}
+}
+
+func TestRefsCommon2(t *testing.T) {
+	objects := map[string]sim.Object{
+		"Q": NewQueue(),
+		"F": NewFetchAdd(0),
+	}
+	res, err := sim.Run(sim.Config{
+		Objects: objects,
+		Programs: []sim.Program{func(ctx *sim.Ctx) sim.Value {
+			q := QueueRef{Name: "Q"}
+			fa := FetchAddRef{Name: "F"}
+			q.Enq(ctx, "x")
+			return []sim.Value{q.Deq(ctx), q.Deq(ctx), fa.FAD(ctx, 7), fa.FAD(ctx, 1)}
+		}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := res.Outputs[0].([]sim.Value)
+	want := []sim.Value{"x", nil, 0, 7}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("op %d = %v, want %v", i, out[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package consensus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"detobj/internal/sim"
+)
+
+func TestSwapSemantics(t *testing.T) {
+	s := NewSwap(nil)
+	env := &sim.Env{}
+	swap := func(v sim.Value) sim.Value {
+		return s.Apply(env, sim.Invocation{Op: "swap", Args: []sim.Value{v}}).Value
+	}
+	if got := swap("a"); got != nil {
+		t.Errorf("first swap = %v, want nil", got)
+	}
+	if got := swap("b"); got != "a" {
+		t.Errorf("second swap = %v, want a", got)
+	}
+	if got := swap("c"); got != "b" {
+		t.Errorf("third swap = %v, want b", got)
+	}
+}
+
+func TestSwapUnknownOpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown swap op did not panic")
+		}
+	}()
+	NewSwap(nil).Apply(&sim.Env{}, sim.Invocation{Op: "read"})
+}
+
+func TestTestAndSetSemantics(t *testing.T) {
+	ts := NewTestAndSet()
+	env := &sim.Env{}
+	if got := ts.Apply(env, sim.Invocation{Op: "tas"}).Value; got != 0 {
+		t.Errorf("first tas = %v, want 0", got)
+	}
+	for i := 0; i < 3; i++ {
+		if got := ts.Apply(env, sim.Invocation{Op: "tas"}).Value; got != 1 {
+			t.Errorf("later tas = %v, want 1", got)
+		}
+	}
+}
+
+func TestTestAndSetUnknownOpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown tas op did not panic")
+		}
+	}()
+	NewTestAndSet().Apply(&sim.Env{}, sim.Invocation{Op: "reset"})
+}
+
+func TestCellFirstValueWins(t *testing.T) {
+	c := NewCell(3)
+	env := &sim.Env{}
+	propose := func(v sim.Value) sim.Response {
+		return c.Apply(env, sim.Invocation{Op: "propose", Args: []sim.Value{v}})
+	}
+	if got := propose("x"); got.Value != "x" {
+		t.Errorf("first propose = %v, want x", got.Value)
+	}
+	if got := propose("y"); got.Value != "x" {
+		t.Errorf("second propose = %v, want x", got.Value)
+	}
+	if got := propose("z"); got.Value != "x" {
+		t.Errorf("third propose = %v, want x", got.Value)
+	}
+	// Fourth propose exceeds the budget and hangs.
+	if got := propose("w"); got.Effect != sim.Hang {
+		t.Errorf("over-budget propose = %+v, want hang", got)
+	}
+	if c.N() != 3 {
+		t.Errorf("N = %d", c.N())
+	}
+}
+
+func TestCellValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewCell(0) },
+		func() { NewCell(2).Apply(&sim.Env{}, sim.Invocation{Op: "decide"}) },
+		func() { NewCell(2).Apply(&sim.Env{}, sim.Invocation{Op: "propose", Args: []sim.Value{nil}}) },
+	}
+	for i, f := range cases {
+		f := f
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestQuickCellAlwaysFirstValue: whatever sequence of proposals arrives,
+// every in-budget propose returns the first.
+func TestQuickCellAlwaysFirstValue(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		c := NewCell(len(vals))
+		env := &sim.Env{}
+		for _, v := range vals {
+			got := c.Apply(env, sim.Invocation{Op: "propose", Args: []sim.Value{int(v)}})
+			if got.Effect == sim.Hang || got.Value != int(vals[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefsThroughRun(t *testing.T) {
+	objects := map[string]sim.Object{
+		"S": NewSwap(nil),
+		"T": NewTestAndSet(),
+		"C": NewCell(2),
+	}
+	res, err := sim.Run(sim.Config{
+		Objects: objects,
+		Programs: []sim.Program{func(ctx *sim.Ctx) sim.Value {
+			s := SwapRef{Name: "S"}
+			ts := TASRef{Name: "T"}
+			c := CellRef{Name: "C"}
+			out := []sim.Value{
+				s.Swap(ctx, 1),
+				s.Swap(ctx, 2),
+				ts.TAS(ctx),
+				ts.TAS(ctx),
+				c.Propose(ctx, "v"),
+			}
+			return out
+		}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := res.Outputs[0].([]sim.Value)
+	want := []sim.Value{nil, 1, 0, 1, "v"}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("op %d = %v, want %v", i, out[i], want[i])
+		}
+	}
+}

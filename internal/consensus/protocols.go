@@ -1,0 +1,107 @@
+package consensus
+
+import (
+	"detobj/internal/registers"
+	"detobj/internal/sim"
+	"detobj/internal/wrn"
+)
+
+// TwoConsFromSwap builds the classic 2-process consensus protocol from one
+// SWAP object and two proposal registers: each process publishes its
+// proposal, then swaps in its id; whoever draws the initial nil wins and
+// decides its own proposal, the other adopts the winner's published
+// proposal. It registers the shared state under the name prefix and
+// returns the two programs.
+func TwoConsFromSwap(objects map[string]sim.Object, name string, v0, v1 sim.Value) []sim.Program {
+	objects[name+".swap"] = NewSwap(nil)
+	props := registers.AddRegisterArray(objects, name+".prop", 2, nil)
+	s := SwapRef{Name: name + ".swap"}
+	mk := func(id int, v sim.Value) sim.Program {
+		return func(ctx *sim.Ctx) sim.Value {
+			props[id].Write(ctx, v)
+			if t := s.Swap(ctx, id); t != nil {
+				return props[t.(int)].Read(ctx)
+			}
+			return v
+		}
+	}
+	return []sim.Program{mk(0, v0), mk(1, v1)}
+}
+
+// TwoConsFromWRN2 builds 2-process consensus directly from a WRN_2 object:
+// it is Algorithm 2 with k = 2, where (k−1)-set consensus degenerates to
+// consensus. The first process to take its single WRN step reads ⊥ and
+// keeps its own proposal; the second reads the first's value and adopts
+// it.
+func TwoConsFromWRN2(objects map[string]sim.Object, name string, v0, v1 sim.Value) []sim.Program {
+	objects[name] = wrn.New(2)
+	w := wrn.Ref{Name: name}
+	mk := func(id int, v sim.Value) sim.Program {
+		return func(ctx *sim.Ctx) sim.Value {
+			if t := w.WRN(ctx, id, v); !wrn.IsBottom(t) {
+				return t
+			}
+			return v
+		}
+	}
+	return []sim.Program{mk(0, v0), mk(1, v1)}
+}
+
+// TwoConsFromTAS builds 2-process consensus from one test-and-set object
+// and two proposal registers: publish, race on TAS, winner keeps its own
+// proposal and the loser adopts the winner's.
+func TwoConsFromTAS(objects map[string]sim.Object, name string, v0, v1 sim.Value) []sim.Program {
+	objects[name+".tas"] = NewTestAndSet()
+	props := registers.AddRegisterArray(objects, name+".prop", 2, nil)
+	ts := TASRef{Name: name + ".tas"}
+	mk := func(id int, v sim.Value) sim.Program {
+		return func(ctx *sim.Ctx) sim.Value {
+			props[id].Write(ctx, v)
+			if ts.TAS(ctx) == 0 {
+				return v
+			}
+			return props[1-id].Read(ctx)
+		}
+	}
+	return []sim.Program{mk(0, v0), mk(1, v1)}
+}
+
+// NConsFromCell builds n-process consensus from a single n-bounded
+// consensus cell: everyone proposes and decides the cell's answer.
+func NConsFromCell(objects map[string]sim.Object, name string, vs []sim.Value) []sim.Program {
+	objects[name] = NewCell(len(vs))
+	c := CellRef{Name: name}
+	progs := make([]sim.Program, len(vs))
+	for i, v := range vs {
+		v := v
+		progs[i] = func(ctx *sim.Ctx) sim.Value {
+			return c.Propose(ctx, v)
+		}
+	}
+	return progs
+}
+
+// ThreeFromWRN2Naive is the natural (and necessarily broken) attempt to
+// run the WRN_2 protocol with three processes: processes 0 and 1 use their
+// own indices and process 2 reuses index 0. The model checker exhibits its
+// disagreeing executions (E11's negative control): SWAP has consensus
+// number exactly 2, so no such protocol can work.
+func ThreeFromWRN2Naive(objects map[string]sim.Object, name string, vs [3]sim.Value) []sim.Program {
+	objects[name] = wrn.New(2)
+	w := wrn.Ref{Name: name}
+	mk := func(idx int, v sim.Value) sim.Program {
+		return func(ctx *sim.Ctx) sim.Value {
+			if t := w.WRN(ctx, idx, v); !wrn.IsBottom(t) {
+				return t
+			}
+			return v
+		}
+	}
+	return []sim.Program{mk(0, vs[0]), mk(1, vs[1]), mk(0, vs[2])}
+}
+
+// makeProps registers the pair of proposal registers the two-process
+// protocols publish their values in.
+func makeProps(objects map[string]sim.Object, name string) []registers.Ref {
+	return registers.AddRegisterArray(objects, name+".prop", 2, nil)
+}

@@ -1,0 +1,119 @@
+package consensus_test
+
+import (
+	"fmt"
+	"testing"
+
+	"detobj/internal/consensus"
+	"detobj/internal/modelcheck"
+	"detobj/internal/sim"
+	"detobj/internal/tasks"
+)
+
+// verifyConsensusEverywhere exhaustively checks that every execution of
+// the protocol solves consensus for the given inputs.
+func verifyConsensusEverywhere(t *testing.T, name string, inputs map[int]sim.Value, f modelcheck.Factory) {
+	t.Helper()
+	execs, err := modelcheck.VerifyAll(f, 0, func(res *sim.Result) error {
+		if !res.AllDone() {
+			return fmt.Errorf("not wait-free: %v", res.Status)
+		}
+		o := tasks.OutcomeFromResult(res, inputs)
+		return tasks.Consensus().Check(o)
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if execs == 0 {
+		t.Fatalf("%s: no executions explored", name)
+	}
+	t.Logf("%s: verified over %d executions", name, execs)
+}
+
+// TestTwoConsFromSwapExhaustive (E11): the SWAP-based 2-consensus protocol
+// is correct in EVERY execution, for both input orders.
+func TestTwoConsFromSwapExhaustive(t *testing.T) {
+	for _, vs := range [][2]sim.Value{{10, 20}, {20, 10}, {7, 7}} {
+		vs := vs
+		inputs := map[int]sim.Value{0: vs[0], 1: vs[1]}
+		verifyConsensusEverywhere(t, fmt.Sprintf("swap%v", vs), inputs, func() sim.Config {
+			objects := map[string]sim.Object{}
+			progs := consensus.TwoConsFromSwap(objects, "C", vs[0], vs[1])
+			return sim.Config{Objects: objects, Programs: progs}
+		})
+	}
+}
+
+// TestTwoConsFromWRN2Exhaustive (§3): WRN_2 is SWAP — Algorithm 2 with
+// k = 2 solves 2-process consensus in every execution.
+func TestTwoConsFromWRN2Exhaustive(t *testing.T) {
+	inputs := map[int]sim.Value{0: "a", 1: "b"}
+	verifyConsensusEverywhere(t, "wrn2", inputs, func() sim.Config {
+		objects := map[string]sim.Object{}
+		progs := consensus.TwoConsFromWRN2(objects, "W", "a", "b")
+		return sim.Config{Objects: objects, Programs: progs}
+	})
+}
+
+func TestTwoConsFromTASExhaustive(t *testing.T) {
+	inputs := map[int]sim.Value{0: 1, 1: 2}
+	verifyConsensusEverywhere(t, "tas", inputs, func() sim.Config {
+		objects := map[string]sim.Object{}
+		progs := consensus.TwoConsFromTAS(objects, "T", 1, 2)
+		return sim.Config{Objects: objects, Programs: progs}
+	})
+}
+
+// TestNConsFromCellExhaustive: a bounded consensus cell solves consensus
+// for n = 3 in every execution.
+func TestNConsFromCellExhaustive(t *testing.T) {
+	inputs := map[int]sim.Value{0: "x", 1: "y", 2: "z"}
+	verifyConsensusEverywhere(t, "cell", inputs, func() sim.Config {
+		objects := map[string]sim.Object{}
+		progs := consensus.NConsFromCell(objects, "cell", []sim.Value{"x", "y", "z"})
+		return sim.Config{Objects: objects, Programs: progs}
+	})
+}
+
+// TestThreeFromWRN2NaiveBreaks: the naive extension of the WRN_2 protocol
+// to three processes has a disagreeing execution — exhibiting that the
+// protocol does not scale past SWAP's consensus number.
+func TestThreeFromWRN2NaiveBreaks(t *testing.T) {
+	inputs := map[int]sim.Value{0: "a", 1: "b", 2: "c"}
+	broke := false
+	_, err := modelcheck.Explore(func() sim.Config {
+		objects := map[string]sim.Object{}
+		progs := consensus.ThreeFromWRN2Naive(objects, "W", [3]sim.Value{"a", "b", "c"})
+		return sim.Config{Objects: objects, Programs: progs}
+	}, 0, func(e modelcheck.Execution) error {
+		o := tasks.OutcomeFromResult(e.Result, inputs)
+		if tasks.Consensus().Check(o) != nil {
+			broke = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if !broke {
+		t.Fatal("no disagreeing execution found; expected the naive protocol to break")
+	}
+}
+
+func TestTwoConsFromQueueExhaustive(t *testing.T) {
+	inputs := map[int]sim.Value{0: "a", 1: "b"}
+	verifyConsensusEverywhere(t, "queue", inputs, func() sim.Config {
+		objects := map[string]sim.Object{}
+		progs := consensus.TwoConsFromQueue(objects, "Q", "a", "b")
+		return sim.Config{Objects: objects, Programs: progs}
+	})
+}
+
+func TestTwoConsFromFetchAddExhaustive(t *testing.T) {
+	inputs := map[int]sim.Value{0: 1, 1: 2}
+	verifyConsensusEverywhere(t, "fetchadd", inputs, func() sim.Config {
+		objects := map[string]sim.Object{}
+		progs := consensus.TwoConsFromFetchAdd(objects, "F", 1, 2)
+		return sim.Config{Objects: objects, Programs: progs}
+	})
+}

@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+
+	"detobj/internal/core"
+)
+
+// ExampleImplements evaluates Theorem 41 on the paper's §7.1 example:
+// (3,2)-set consensus (the power of 1sWRN_3) yields (12,8) but not (12,7).
+func ExampleImplements() {
+	fmt.Println(core.Implements(3, 2, 12, 8))
+	fmt.Println(core.Implements(3, 2, 12, 7))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleCompare shows the strict 1sWRN hierarchy of Corollary 42.
+func ExampleCompare() {
+	a := core.WRNEquivalent(3) // (3,2)-set consensus
+	b := core.WRNEquivalent(6) // (6,5)-set consensus
+	fmt.Println(core.Compare(a, b))
+	fmt.Println(core.Compare(b, a))
+	fmt.Println(core.Compare(a, a))
+	// Output:
+	// stronger
+	// weaker
+	// equivalent
+}
+
+// ExampleFamily_Separation exhibits the PODC'16 hierarchy at consensus
+// level 4: O(4,2) strictly dominates O(4,1).
+func ExampleFamily_Separation() {
+	f := core.Family{N: 4}
+	w := f.Separation(1)
+	fmt.Printf("procs=%d stronger=%d weaker=%d separated=%v\n",
+		w.Procs, w.TaskK, w.WeakerBest, w.Separated())
+	// Output: procs=32 stronger=2 weaker=4 separated=true
+}
+
+// ExampleMinAgreement shows the optimal-grouping calculus.
+func ExampleMinAgreement() {
+	// 7 processes from (3,2)-set consensus objects: two full groups of 3
+	// contribute 2 values each, the leftover process decides alone.
+	fmt.Println(core.MinAgreement(7, 3, 2))
+	// Output: 5
+}

@@ -1,0 +1,169 @@
+package core
+
+import "fmt"
+
+// WRNEquivalent returns the set-consensus object equivalent to 1sWRN_k
+// (Theorem 2): (k, k−1)-set consensus.
+func WRNEquivalent(k int) SetCons {
+	if k < 2 {
+		panic(fmt.Sprintf("core: WRNEquivalent(%d), need k >= 2", k))
+	}
+	return SetCons{N: k, K: k - 1}
+}
+
+// WRNConsensusNumber returns the consensus number of WRN_k: 2 for k = 2
+// (it is a SWAP object) and 1 for k ≥ 3 (Theorem 1 / Lemma 38).
+func WRNConsensusNumber(k int) int {
+	if k < 2 {
+		panic(fmt.Sprintf("core: WRNConsensusNumber(%d), need k >= 2", k))
+	}
+	if k == 2 {
+		return 2
+	}
+	return 1
+}
+
+// WRNImplements reports whether 1sWRN_to can be implemented from 1sWRN_from
+// objects and registers (Corollary 42): possible iff from ≤ to.
+func WRNImplements(from, to int) bool {
+	a, b := WRNEquivalent(from), WRNEquivalent(to)
+	return Implements(a.N, a.K, b.N, b.K)
+}
+
+// WRNHierarchyLevels returns the pairwise ordering of 1sWRN objects for
+// k = 3..maxK as a matrix: entry [i][j] compares 1sWRN_{3+i} with
+// 1sWRN_{3+j}. Every off-diagonal pair must be strictly ordered, which is
+// the infinite hierarchy between registers and 2-consensus.
+func WRNHierarchyLevels(maxK int) [][]Ordering {
+	size := maxK - 2
+	out := make([][]Ordering, size)
+	for i := range out {
+		out[i] = make([]Ordering, size)
+		for j := range out[i] {
+			out[i][j] = Compare(WRNEquivalent(3+i), WRNEquivalent(3+j))
+		}
+	}
+	return out
+}
+
+// ConjPower returns the best agreement bound K achievable by n processes
+// using consN-consensus objects, (m,j)-set consensus objects, and
+// registers together: the optimum over partitions of the processes into
+// groups, where a group of size s costs
+//
+//	min( s, ⌈s/consN⌉, j if s ≤ m ).
+//
+// The three group strategies are: decide your own value (registers),
+// split into consensus cohorts of consN, or run the set-consensus object.
+// Computed by dynamic programming over n.
+//
+// The upper-bound direction is constructive (ConjPrograms realizes the
+// value). The lower-bound direction — no protocol beats the partition
+// optimum — is the multi-object-type extension of the Chaudhuri–Reiners /
+// Borowsky–Gafni characterization (an n-consensus object is an (n,1)-set
+// consensus object, so the collection is a pair of set-consensus types);
+// this library takes that extension as given, exactly as Theorem 41 takes
+// the single-type case (see DESIGN.md, Substitutions).
+func ConjPower(n, consN, m, j int) int {
+	if n <= 0 || consN <= 0 || m <= 0 || j <= 0 {
+		panic(fmt.Sprintf("core: ConjPower(%d,%d,%d,%d) with non-positive argument", n, consN, m, j))
+	}
+	cost := func(s int) int {
+		c := s
+		if v := (s + consN - 1) / consN; v < c {
+			c = v
+		}
+		if s <= m && j < c {
+			c = j
+		}
+		return c
+	}
+	best := make([]int, n+1)
+	for t := 1; t <= n; t++ {
+		best[t] = cost(t)
+		for s := 1; s < t; s++ {
+			if v := cost(s) + best[t-s]; v < best[t] {
+				best[t] = v
+			}
+		}
+	}
+	return best[n]
+}
+
+// Conj identifies a conjunction object: the deterministic combination of
+// an n-consensus component (a bounded first-value-wins cell) and an
+// (M,J)-set consensus component.
+type Conj struct {
+	ConsN int
+	Set   SetCons
+}
+
+// String implements fmt.Stringer.
+func (c Conj) String() string {
+	return fmt.Sprintf("%d-consensus ∧ %v", c.ConsN, c.Set)
+}
+
+// Power returns the best agreement bound for n processes using the object
+// and registers.
+func (c Conj) Power(n int) int { return ConjPower(n, c.ConsN, c.Set.N, c.Set.K) }
+
+// ConsensusNumber returns the object's consensus number: the largest s
+// with Power(s) = 1.
+func (c Conj) ConsensusNumber() int {
+	s := 1
+	for c.Power(s+1) == 1 {
+		s++
+	}
+	return s
+}
+
+// Family is the reconstructed PODC'16 object family: for each n ≥ 2,
+// O(n,k) = n-consensus ∧ (n·2^(k+1), 2)-set consensus, k = 1, 2, 3, ...
+// Every member has consensus number n; members with larger k are strictly
+// stronger. The original paper's exact object encoding (and its
+// nk+n+k-process separation bound) is not reproducible without its text;
+// this family realizes the same theorem — an infinite strictly increasing
+// hierarchy at every consensus level n ≥ 2 — with parameters whose
+// separations the calculus verifies explicitly (see Separation).
+type Family struct {
+	N int
+}
+
+// At returns the k-th member O(n,k).
+func (f Family) At(k int) Conj {
+	if f.N < 2 || k < 1 {
+		panic(fmt.Sprintf("core: Family{%d}.At(%d), need n >= 2 and k >= 1", f.N, k))
+	}
+	return Conj{ConsN: f.N, Set: SetCons{N: f.N << (k + 1), K: 2}}
+}
+
+// SeparationWitness describes why O(n,k+1) is strictly stronger than
+// O(n,k): a system size and a task (set consensus with bound TaskK among
+// Procs processes) that the stronger object solves and the weaker cannot.
+type SeparationWitness struct {
+	// Procs is the witnessing system size.
+	Procs int
+	// TaskK is the agreement bound achieved by O(n,k+1).
+	TaskK int
+	// WeakerBest is the best bound O(n,k) can achieve — strictly larger.
+	WeakerBest int
+}
+
+// Separation computes the witness separating O(n,k) from O(n,k+1): in a
+// system of Procs = n·2^(k+2) processes, O(n,k+1) solves TaskK-set
+// consensus with TaskK = 2 (one use of its set-consensus component), while
+// O(n,k) cannot do better than WeakerBest > 2.
+func (f Family) Separation(k int) SeparationWitness {
+	stronger := f.At(k + 1)
+	weaker := f.At(k)
+	procs := stronger.Set.N
+	return SeparationWitness{
+		Procs:      procs,
+		TaskK:      stronger.Power(procs),
+		WeakerBest: weaker.Power(procs),
+	}
+}
+
+// Separated reports whether the witness indeed separates: the stronger
+// object achieves a strictly smaller agreement bound.
+func (w SeparationWitness) Separated() bool { return w.TaskK < w.WeakerBest }

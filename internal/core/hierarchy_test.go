@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWRNEquivalent(t *testing.T) {
+	if got := WRNEquivalent(5); got != (SetCons{N: 5, K: 4}) {
+		t.Errorf("WRNEquivalent(5) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("WRNEquivalent(1) did not panic")
+		}
+	}()
+	WRNEquivalent(1)
+}
+
+func TestWRNConsensusNumber(t *testing.T) {
+	if got := WRNConsensusNumber(2); got != 2 {
+		t.Errorf("WRN_2 consensus number = %d, want 2 (SWAP)", got)
+	}
+	for k := 3; k <= 10; k++ {
+		if got := WRNConsensusNumber(k); got != 1 {
+			t.Errorf("WRN_%d consensus number = %d, want 1", k, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("WRNConsensusNumber(0) did not panic")
+		}
+	}()
+	WRNConsensusNumber(0)
+}
+
+// TestCorollary42: for every pair k < k', 1sWRN_{k'} is implementable from
+// 1sWRN_k and registers, and never the converse.
+func TestCorollary42(t *testing.T) {
+	for k := 3; k <= 12; k++ {
+		for kp := k + 1; kp <= 12; kp++ {
+			if !WRNImplements(k, kp) {
+				t.Errorf("1sWRN_%d should implement 1sWRN_%d (Cor. 42.2)", k, kp)
+			}
+			if WRNImplements(kp, k) {
+				t.Errorf("1sWRN_%d must not implement 1sWRN_%d (Cor. 42.1)", kp, k)
+			}
+		}
+		if !WRNImplements(k, k) {
+			t.Errorf("1sWRN_%d should implement itself", k)
+		}
+	}
+}
+
+// TestWRNHierarchyLevels (E8): the matrix is a strict total order —
+// smaller k strictly stronger — giving the infinite hierarchy between
+// registers and 2-consensus.
+func TestWRNHierarchyLevels(t *testing.T) {
+	levels := WRNHierarchyLevels(10)
+	for i := range levels {
+		for j := range levels[i] {
+			want := Equivalent
+			if i < j {
+				want = Stronger
+			} else if i > j {
+				want = Weaker
+			}
+			if levels[i][j] != want {
+				t.Errorf("levels[%d][%d] (1sWRN_%d vs 1sWRN_%d) = %v, want %v",
+					i, j, 3+i, 3+j, levels[i][j], want)
+			}
+		}
+	}
+}
+
+func TestConjPowerHandValues(t *testing.T) {
+	cases := []struct {
+		n, consN, m, j int
+		want           int
+	}{
+		{4, 2, 100, 2, 2}, // set component: one group of 4 ≤ 100 → 2
+		{4, 2, 3, 2, 2},   // cons component: ⌈4/2⌉ = 2 beats 2+1
+		{16, 2, 16, 2, 2}, // single big set group
+		{16, 2, 8, 2, 4},  // two set groups of 8
+		{5, 5, 4, 2, 1},   // one consensus cell covers everyone
+		{3, 1, 100, 2, 2}, // 1-consensus is useless; the set object gives 2
+		{3, 1, 2, 1, 2},   // cells of 2: ⌈3/2⌉ = 2... with consN=1 cost cons = 3; set m=2,j=1: groups of 2 cost 1 + 1 solo = 2
+	}
+	for _, c := range cases {
+		if got := ConjPower(c.n, c.consN, c.m, c.j); got != c.want {
+			t.Errorf("ConjPower(%d,%d,%d,%d) = %d, want %d", c.n, c.consN, c.m, c.j, got, c.want)
+		}
+	}
+}
+
+func TestConjPowerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive arguments did not panic")
+		}
+	}()
+	ConjPower(3, 0, 2, 1)
+}
+
+// TestQuickConjPowerBounds: the conjunction is never worse than either
+// component alone and never better than 1.
+func TestQuickConjPowerBounds(t *testing.T) {
+	f := func(rawN, rawC, rawM, rawJ uint8) bool {
+		n := int(rawN%24) + 1
+		consN := int(rawC%6) + 1
+		m := int(rawM%10) + 2
+		j := int(rawJ)%(m-1) + 1
+		p := ConjPower(n, consN, m, j)
+		consOnly := (n + consN - 1) / consN
+		setOnly := MinAgreement(n, m, j)
+		if p > consOnly || p > setOnly || p < 1 {
+			return false
+		}
+		// Monotone in n.
+		return ConjPower(n+1, consN, m, j) >= p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFamilyConsensusNumber (E10): every member of the reconstructed
+// O(n,k) family has consensus number exactly n.
+func TestFamilyConsensusNumber(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		f := Family{N: n}
+		for k := 1; k <= 4; k++ {
+			if got := f.At(k).ConsensusNumber(); got != n {
+				t.Errorf("O(%d,%d) consensus number = %d, want %d", n, k, got, n)
+			}
+		}
+	}
+}
+
+// TestFamilySeparation (E10, the PODC'16 theorem): each O(n,k+1) is
+// strictly stronger than O(n,k) — the witness task is solvable by the
+// stronger member with a strictly smaller agreement bound.
+func TestFamilySeparation(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		f := Family{N: n}
+		for k := 1; k <= 4; k++ {
+			w := f.Separation(k)
+			if !w.Separated() {
+				t.Errorf("O(%d,%d) vs O(%d,%d): witness %+v does not separate", n, k+1, n, k, w)
+			}
+			if w.TaskK != 2 {
+				t.Errorf("O(%d,%d) should solve the witness with K=2, got %d", n, k+1, w.TaskK)
+			}
+		}
+	}
+}
+
+// TestFamilyMonotone: within a family, larger k implements smaller k's
+// set-consensus component (the hierarchy is nested, not just separated).
+func TestFamilyMonotone(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		f := Family{N: n}
+		for k := 1; k <= 4; k++ {
+			a, b := f.At(k+1).Set, f.At(k).Set
+			if !Implements(a.N, a.K, b.N, b.K) {
+				t.Errorf("O(%d,%d)'s set component should implement O(%d,%d)'s", n, k+1, n, k)
+			}
+		}
+	}
+}
+
+func TestFamilyValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Family{1}.At(1) did not panic")
+		}
+	}()
+	Family{N: 1}.At(1)
+}
+
+func TestConjString(t *testing.T) {
+	c := Conj{ConsN: 3, Set: SetCons{N: 24, K: 2}}
+	if got := c.String(); got != "3-consensus ∧ (24,2)-set consensus" {
+		t.Errorf("String = %q", got)
+	}
+}

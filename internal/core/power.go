@@ -1,0 +1,214 @@
+// Package core is the paper's primary contribution as a computable theory:
+// the synchronization-power calculus of set-consensus objects.
+//
+// It provides:
+//
+//   - the set-consensus implementability characterization (Theorem 41,
+//     due to PODC'16 with Chaudhuri–Reiners): (n,k)-set consensus is
+//     wait-free implementable from (m,j)-set consensus objects and
+//     registers iff ⌊n/m⌋·j + min(j, n mod m) ≤ k;
+//
+//   - the induced partial order on set-consensus objects, with the
+//     equivalence 1sWRN_k ≡ (k,k−1)-set consensus (Theorem 2) and the
+//     infinite hierarchy between registers and 2-consensus (Corollary 42);
+//
+//   - the power calculus for conjunction objects (n-consensus combined
+//     with set consensus) and the reconstructed O(n,k) family realizing
+//     the PODC'16 theorem: for every n ≥ 2, an infinite sequence of
+//     deterministic objects of consensus number n with strictly
+//     increasing synchronization power. The PODC'16 full text was not
+//     available to this reproduction, so the family's parameters are
+//     reconstructed (see DESIGN.md, Substitutions); every separation the
+//     family claims is verified computationally by the calculus rather
+//     than assumed.
+package core
+
+import "fmt"
+
+// MinAgreement returns the best achievable agreement bound K when n
+// processes solve set consensus from (m,j)-set consensus objects and
+// registers: partition the processes into groups of at most m, each full
+// group contributing j values and a remainder of r contributing min(j, r).
+// By the Chaudhuri–Reiners characterization this grouping is optimal, so
+// the value is ⌊n/m⌋·j + min(j, n mod m).
+func MinAgreement(n, m, j int) int {
+	if n <= 0 || m <= 0 || j <= 0 {
+		panic(fmt.Sprintf("core: MinAgreement(%d,%d,%d) with non-positive argument", n, m, j))
+	}
+	return (n/m)*j + min(j, n%m)
+}
+
+// Implements reports Theorem 41: whether (n,k)-set consensus has a
+// wait-free implementation from (m,j)-set consensus objects and registers
+// in a system of n or more processes.
+func Implements(m, j, n, k int) bool {
+	return MinAgreement(n, m, j) <= k
+}
+
+// SetCons identifies an (N,K)-set consensus object.
+type SetCons struct {
+	N, K int
+}
+
+// String implements fmt.Stringer.
+func (s SetCons) String() string { return fmt.Sprintf("(%d,%d)-set consensus", s.N, s.K) }
+
+// Valid reports whether the parameters satisfy 0 < K < N.
+func (s SetCons) Valid() bool { return s.K > 0 && s.K < s.N }
+
+// Ordering is the result of comparing two objects' synchronization power.
+type Ordering int
+
+const (
+	// Equivalent: each implements the other.
+	Equivalent Ordering = iota
+	// Stronger: the first implements the second but not vice versa.
+	Stronger
+	// Weaker: the second implements the first but not vice versa.
+	Weaker
+	// Incomparable: neither implements the other.
+	Incomparable
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	switch o {
+	case Equivalent:
+		return "equivalent"
+	case Stronger:
+		return "stronger"
+	case Weaker:
+		return "weaker"
+	case Incomparable:
+		return "incomparable"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// Compare orders two set-consensus objects by implementability.
+func Compare(a, b SetCons) Ordering {
+	ab := Implements(a.N, a.K, b.N, b.K)
+	ba := Implements(b.N, b.K, a.N, a.K)
+	switch {
+	case ab && ba:
+		return Equivalent
+	case ab:
+		return Stronger
+	case ba:
+		return Weaker
+	default:
+		return Incomparable
+	}
+}
+
+// ConsensusNumber returns the consensus number of an (m,j)-set consensus
+// object: m when j = 1 (it is an m-bounded consensus object) and 1
+// otherwise (with j ≥ 2 even two processes cannot be forced to agree).
+func (s SetCons) ConsensusNumber() int {
+	if s.K == 1 {
+		return s.N
+	}
+	return 1
+}
+
+// ImplementabilityMatrix tabulates, for a fixed source object (m,j), which
+// (n,k) tasks it can implement for n ≤ maxN. Row n lists achievability for
+// k = 1..n−1. This regenerates experiment E7's table.
+func ImplementabilityMatrix(src SetCons, maxN int) [][]bool {
+	rows := make([][]bool, 0, maxN)
+	for n := 2; n <= maxN; n++ {
+		row := make([]bool, n-1)
+		for k := 1; k < n; k++ {
+			row[k-1] = Implements(src.N, src.K, n, k)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Classes partitions the set-consensus objects {(n,k) : 1 ≤ k < n ≤ maxN}
+// into equivalence classes under mutual implementability (Theorem 41).
+// The computation quantifies the paper's title: every object turns out to
+// be its own class — within n ≤ maxN there are exactly
+// maxN·(maxN−1)/2 pairwise inequivalent synchronization powers, all but
+// maxN−1 of them at consensus number 1.
+func Classes(maxN int) [][]SetCons {
+	var classes [][]SetCons
+	for n := 2; n <= maxN; n++ {
+		for k := 1; k < n; k++ {
+			o := SetCons{N: n, K: k}
+			placed := false
+			for ci, cl := range classes {
+				if Compare(o, cl[0]) == Equivalent {
+					classes[ci] = append(classes[ci], o)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				classes = append(classes, []SetCons{o})
+			}
+		}
+	}
+	return classes
+}
+
+// CountByConsensusNumber tallies the power classes of Classes(maxN) by
+// the consensus number of their representatives. The count at consensus
+// number 1 is the measured "wealth" of sub-consensus powers.
+func CountByConsensusNumber(maxN int) map[int]int {
+	out := make(map[int]int)
+	for _, cl := range Classes(maxN) {
+		out[cl[0].ConsensusNumber()]++
+	}
+	return out
+}
+
+// CoverEdge is one covering relation of the set-consensus partial order:
+// A is strictly stronger than B with nothing strictly between them.
+type CoverEdge struct {
+	A, B SetCons
+}
+
+// HasseDiagram computes the covering relations of the implementability
+// partial order over all objects with n ≤ maxN — the Hasse diagram of the
+// sub-consensus landscape. Since every object is its own equivalence
+// class (Classes), the diagram is over the objects themselves.
+func HasseDiagram(maxN int) []CoverEdge {
+	var all []SetCons
+	for n := 2; n <= maxN; n++ {
+		for k := 1; k < n; k++ {
+			all = append(all, SetCons{N: n, K: k})
+		}
+	}
+	stronger := func(a, b SetCons) bool {
+		return Compare(a, b) == Stronger
+	}
+	var edges []CoverEdge
+	for _, a := range all {
+		for _, b := range all {
+			if !stronger(a, b) {
+				continue
+			}
+			covered := true
+			for _, c := range all {
+				if stronger(a, c) && stronger(c, b) {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				edges = append(edges, CoverEdge{A: a, B: b})
+			}
+		}
+	}
+	return edges
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMinAgreementHandValues(t *testing.T) {
+	cases := []struct{ n, m, j, want int }{
+		{12, 3, 2, 8},    // the paper's §7.1 example: WRN_3 gives (12,8)
+		{5, 4, 3, 4},     // 1 full group (3) + remainder 1 (min(3,1)=1)
+		{4, 5, 4, 4},     // single group: min(4,4)
+		{6, 3, 2, 4},     // two full groups
+		{7, 3, 2, 5},     // two full groups + remainder 1
+		{3, 3, 2, 2},     // Algorithm 2's (3,2)
+		{100, 10, 1, 10}, // consensus objects: ⌈100/10⌉
+	}
+	for _, c := range cases {
+		if got := MinAgreement(c.n, c.m, c.j); got != c.want {
+			t.Errorf("MinAgreement(%d,%d,%d) = %d, want %d", c.n, c.m, c.j, got, c.want)
+		}
+	}
+}
+
+func TestMinAgreementValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive arguments did not panic")
+		}
+	}()
+	MinAgreement(0, 1, 1)
+}
+
+func TestImplementsReflexive(t *testing.T) {
+	for m := 2; m <= 10; m++ {
+		for j := 1; j < m; j++ {
+			if !Implements(m, j, m, j) {
+				t.Errorf("(%d,%d) does not implement itself", m, j)
+			}
+		}
+	}
+}
+
+// TestQuickImplementsTransitive: the implementability relation composes.
+func TestQuickImplementsTransitive(t *testing.T) {
+	f := func(raw [6]uint8) bool {
+		a := SetCons{N: int(raw[0]%12) + 2, K: 0}
+		a.K = int(raw[1])%(a.N-1) + 1
+		b := SetCons{N: int(raw[2]%12) + 2, K: 0}
+		b.K = int(raw[3])%(b.N-1) + 1
+		c := SetCons{N: int(raw[4]%12) + 2, K: 0}
+		c.K = int(raw[5])%(c.N-1) + 1
+		if Implements(a.N, a.K, b.N, b.K) && Implements(b.N, b.K, c.N, c.K) {
+			return Implements(a.N, a.K, c.N, c.K)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMinAgreementMonotone: more processes never need fewer values,
+// and a stronger source (larger m or smaller j at fixed m) never does
+// worse.
+func TestQuickMinAgreementMonotone(t *testing.T) {
+	f := func(rawN, rawM, rawJ uint8) bool {
+		n := int(rawN%20) + 2
+		m := int(rawM%10) + 2
+		j := int(rawJ)%(m-1) + 1
+		base := MinAgreement(n, m, j)
+		if MinAgreement(n+1, m, j) < base {
+			return false
+		}
+		if MinAgreement(n, m+1, j) > base {
+			return false
+		}
+		if j > 1 && MinAgreement(n, m, j-1) > base {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareOrderings(t *testing.T) {
+	cases := []struct {
+		a, b SetCons
+		want Ordering
+	}{
+		{SetCons{3, 2}, SetCons{3, 2}, Equivalent},
+		{SetCons{3, 2}, SetCons{4, 3}, Stronger},     // 1sWRN_3 implements 1sWRN_4
+		{SetCons{4, 3}, SetCons{3, 2}, Weaker},       // and not vice versa
+		{SetCons{6, 2}, SetCons{4, 3}, Stronger},     // (6,2) packs (4,3): min(2,4)=2≤3
+		{SetCons{5, 2}, SetCons{2, 1}, Incomparable}, // neither 2-consensus nor good ratio alone suffices
+		{SetCons{4, 1}, SetCons{5, 2}, Stronger},     // 4-consensus packs (5,2): 1 group of 4 + 1 solo
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	if Equivalent.String() != "equivalent" || Stronger.String() != "stronger" ||
+		Weaker.String() != "weaker" || Incomparable.String() != "incomparable" {
+		t.Error("Ordering.String misbehaves")
+	}
+	if Ordering(9).String() != "Ordering(9)" {
+		t.Error("Ordering.String default case")
+	}
+}
+
+func TestSetConsBasics(t *testing.T) {
+	s := SetCons{N: 5, K: 4}
+	if s.String() != "(5,4)-set consensus" {
+		t.Errorf("String = %q", s.String())
+	}
+	if !s.Valid() || (SetCons{N: 3, K: 3}).Valid() || (SetCons{N: 3, K: 0}).Valid() {
+		t.Error("Valid misbehaves")
+	}
+}
+
+func TestConsensusNumberOfSetCons(t *testing.T) {
+	if got := (SetCons{N: 7, K: 1}).ConsensusNumber(); got != 7 {
+		t.Errorf("(7,1) consensus number = %d, want 7", got)
+	}
+	for k := 2; k <= 6; k++ {
+		if got := (SetCons{N: 7, K: k}).ConsensusNumber(); got != 1 {
+			t.Errorf("(7,%d) consensus number = %d, want 1", k, got)
+		}
+	}
+}
+
+func TestImplementabilityMatrix(t *testing.T) {
+	m := ImplementabilityMatrix(SetCons{N: 3, K: 2}, 6)
+	if len(m) != 5 {
+		t.Fatalf("rows = %d, want 5", len(m))
+	}
+	// (3,2) implements (3,2): row n=3 (index 1), k=2 (index 1).
+	if !m[1][1] {
+		t.Error("(3,2) should implement (3,2)")
+	}
+	// (3,2) cannot implement (2,1) = 2-consensus.
+	if m[0][0] {
+		t.Error("(3,2) must not implement 2-consensus")
+	}
+	// (3,2) implements (6,4): 2 groups × 2.
+	if !m[4][3] {
+		t.Error("(3,2) should implement (6,4)")
+	}
+	if m[4][2] {
+		t.Error("(3,2) must not implement (6,3)")
+	}
+}
+
+// TestMinAgreementMatchesAlg6Guarantee: the calculus agrees with the
+// concrete Algorithm 6 bound for WRN_k sources, since 1sWRN_k ≡ (k,k−1).
+func TestMinAgreementMatchesAlg6Guarantee(t *testing.T) {
+	for n := 3; n <= 24; n++ {
+		for k := 3; k <= 6; k++ {
+			if got, want := MinAgreement(n, k, k-1), alg6Guarantee(n, k); got != want {
+				t.Errorf("MinAgreement(%d,%d,%d) = %d, Algorithm 6 achieves %d", n, k, k-1, got, want)
+			}
+		}
+	}
+}
+
+// alg6Guarantee mirrors setconsensus.Guarantee without importing it (core
+// must stay import-light); the cross-package equality is asserted in the
+// repository-level tests.
+func alg6Guarantee(n, k int) int {
+	return (n/k)*(k-1) + n%k
+}
+
+// TestClassesAllSingletons (the "wealth" quantified): within n ≤ 16 every
+// (n,k)-set consensus object is its own synchronization-power class — no
+// two are mutually implementable.
+func TestClassesAllSingletons(t *testing.T) {
+	const maxN = 16
+	classes := Classes(maxN)
+	want := maxN * (maxN - 1) / 2
+	if len(classes) != want {
+		t.Fatalf("classes = %d, want %d (all singletons)", len(classes), want)
+	}
+	for _, cl := range classes {
+		if len(cl) != 1 {
+			t.Errorf("non-singleton class %v", cl)
+		}
+	}
+}
+
+// TestClassesWitnessed: for every pair of distinct objects (n ≤ 10), at
+// least one implementation direction fails — distinctness is witnessed,
+// not just asserted.
+func TestClassesWitnessed(t *testing.T) {
+	var all []SetCons
+	for n := 2; n <= 10; n++ {
+		for k := 1; k < n; k++ {
+			all = append(all, SetCons{N: n, K: k})
+		}
+	}
+	for i, a := range all {
+		for _, b := range all[i+1:] {
+			if Implements(a.N, a.K, b.N, b.K) && Implements(b.N, b.K, a.N, a.K) {
+				t.Errorf("%v and %v mutually implementable", a, b)
+			}
+		}
+	}
+}
+
+// TestCountByConsensusNumber: all classes except the (n,1) consensus
+// objects sit at consensus number 1.
+func TestCountByConsensusNumber(t *testing.T) {
+	counts := CountByConsensusNumber(12)
+	if counts[1] != 12*11/2-11 {
+		t.Errorf("consensus-number-1 classes = %d, want %d", counts[1], 12*11/2-11)
+	}
+	for n := 2; n <= 12; n++ {
+		if counts[n] != 1 {
+			t.Errorf("consensus-number-%d classes = %d, want 1 (the (n,1) object)", n, counts[n])
+		}
+	}
+}
+
+// TestHasseDiagram: covering edges are strict, non-transitive, and include
+// the known chains — the consensus chain (n,1) → (n−1,1) and the 1sWRN
+// chain (k,k−1) → (k+1,k).
+func TestHasseDiagram(t *testing.T) {
+	edges := HasseDiagram(6)
+	if len(edges) == 0 {
+		t.Fatal("empty diagram")
+	}
+	has := func(a, b SetCons) bool {
+		for _, e := range edges {
+			if e.A == a && e.B == b {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range edges {
+		if Compare(e.A, e.B) != Stronger {
+			t.Errorf("edge %v → %v not strict", e.A, e.B)
+		}
+	}
+	if !has(SetCons{3, 2}, SetCons{4, 3}) {
+		t.Error("missing 1sWRN chain edge (3,2) → (4,3)")
+	}
+	if !has(SetCons{4, 1}, SetCons{3, 1}) {
+		t.Error("missing consensus chain edge (4,1) → (3,1)")
+	}
+	// Transitive closure must not appear as a cover: (3,2) is stronger
+	// than (5,4) but (4,3) lies between.
+	if has(SetCons{3, 2}, SetCons{5, 4}) {
+		t.Error("non-covering edge (3,2) → (5,4) present")
+	}
+}

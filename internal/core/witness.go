@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"detobj/internal/consensus"
+	"detobj/internal/setconsensus"
+	"detobj/internal/sim"
+)
+
+// PartitionPrograms builds the constructive side of Theorem 41: n
+// processes solve MinAgreement(n,m,j)-set consensus by packing into
+// ⌊n/m⌋ full groups of m (one (m,j)-set consensus object each, j values)
+// plus a remainder group (min(j, r) values). It registers the group
+// objects under the name prefix and returns one program per process;
+// process i proposes vs[i].
+func PartitionPrograms(objects map[string]sim.Object, name string, m, j int, vs []sim.Value) []sim.Program {
+	n := len(vs)
+	progs := make([]sim.Program, n)
+	groups := (n + m - 1) / m
+	for g := 0; g < groups; g++ {
+		lo := g * m
+		hi := lo + m
+		if hi > n {
+			hi = n
+		}
+		size := hi - lo
+		if size <= j {
+			// A group no larger than j gains nothing from the object:
+			// everyone decides its own proposal (min(j, size) = size).
+			for i := lo; i < hi; i++ {
+				v := vs[i]
+				progs[i] = func(*sim.Ctx) sim.Value { return v }
+			}
+			continue
+		}
+		// Instantiate exactly the granted primitive: an (m,j)-set
+		// consensus object, proposed to by size ≤ m processes.
+		groupName := sim.Indexed(name, g)
+		objects[groupName] = setconsensus.NewObject(m, j)
+		ref := setconsensus.Ref{Name: groupName}
+		for i := lo; i < hi; i++ {
+			v := vs[i]
+			progs[i] = func(ctx *sim.Ctx) sim.Value { return ref.Propose(ctx, v) }
+		}
+	}
+	return progs
+}
+
+// ConjPrograms builds the constructive side of the conjunction calculus:
+// n processes achieve ConjPower(n, consN, m, j)-set consensus using
+// consensus cells of budget consN, (m,j)-set consensus objects, and
+// trivial (decide-own) groups, following the optimal dynamic-programming
+// partition. It registers the shared objects under the name prefix and
+// returns one program per process.
+func ConjPrograms(objects map[string]sim.Object, name string, consN, m, j int, vs []sim.Value) []sim.Program {
+	n := len(vs)
+	progs := make([]sim.Program, n)
+	next := 0
+	instance := 0
+	for _, size := range optimalPartition(n, consN, m, j) {
+		lo, hi := next, next+size
+		next = hi
+		switch bestStrategy(size, consN, m, j) {
+		case stratTrivial:
+			for i := lo; i < hi; i++ {
+				v := vs[i]
+				progs[i] = func(*sim.Ctx) sim.Value { return v }
+			}
+		case stratCons:
+			// Split the group into cohorts of consN, one consensus cell
+			// each.
+			for cohortLo := lo; cohortLo < hi; cohortLo += consN {
+				cohortHi := cohortLo + consN
+				if cohortHi > hi {
+					cohortHi = hi
+				}
+				cellName := sim.Indexed(name+".cell", instance)
+				instance++
+				objects[cellName] = consensus.NewCell(consN)
+				ref := consensus.CellRef{Name: cellName}
+				for i := cohortLo; i < cohortHi; i++ {
+					v := vs[i]
+					progs[i] = func(ctx *sim.Ctx) sim.Value { return ref.Propose(ctx, v) }
+				}
+			}
+		case stratSet:
+			// stratSet is chosen only when j < size ≤ m, so the granted
+			// (m,j) object is instantiated as-is.
+			setName := sim.Indexed(name+".set", instance)
+			instance++
+			objects[setName] = setconsensus.NewObject(m, j)
+			ref := setconsensus.Ref{Name: setName}
+			for i := lo; i < hi; i++ {
+				v := vs[i]
+				progs[i] = func(ctx *sim.Ctx) sim.Value { return ref.Propose(ctx, v) }
+			}
+		}
+	}
+	return progs
+}
+
+type strategy int
+
+const (
+	stratTrivial strategy = iota
+	stratCons
+	stratSet
+)
+
+// groupCost mirrors ConjPower's cost function.
+func groupCost(s, consN, m, j int) int {
+	c := s
+	if v := (s + consN - 1) / consN; v < c {
+		c = v
+	}
+	if s <= m && j < c {
+		c = j
+	}
+	return c
+}
+
+// bestStrategy returns the cheapest strategy for a group of size s.
+func bestStrategy(s, consN, m, j int) strategy {
+	cons := (s + consN - 1) / consN
+	best, strat := s, stratTrivial
+	if cons < best {
+		best, strat = cons, stratCons
+	}
+	if s <= m && j < best {
+		strat = stratSet
+	}
+	return strat
+}
+
+// optimalPartition returns group sizes realizing ConjPower's optimum.
+func optimalPartition(n, consN, m, j int) []int {
+	best := make([]int, n+1)
+	choice := make([]int, n+1)
+	for t := 1; t <= n; t++ {
+		best[t] = groupCost(t, consN, m, j)
+		choice[t] = t
+		for s := 1; s < t; s++ {
+			if v := groupCost(s, consN, m, j) + best[t-s]; v < best[t] {
+				best[t] = v
+				choice[t] = s
+			}
+		}
+	}
+	var sizes []int
+	for t := n; t > 0; t -= choice[t] {
+		sizes = append(sizes, choice[t])
+	}
+	return sizes
+}
+
+// VerifyWitness sanity-checks that the partition achieving ConjPower sums
+// to n and costs exactly the optimum; it is exposed for tests and the
+// hierarchy CLI.
+func VerifyWitness(n, consN, m, j int) error {
+	sizes := optimalPartition(n, consN, m, j)
+	total, cost := 0, 0
+	for _, s := range sizes {
+		total += s
+		cost += groupCost(s, consN, m, j)
+	}
+	if total != n {
+		return fmt.Errorf("core: partition of %d sums to %d", n, total)
+	}
+	if want := ConjPower(n, consN, m, j); cost != want {
+		return fmt.Errorf("core: partition cost %d, optimum %d", cost, want)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"detobj/internal/sim"
+	"detobj/internal/tasks"
+)
+
+// runWitness executes the given program builder with n distinct proposals
+// and returns the outcome.
+func runWitness(t *testing.T, n int, seed int64, build func(objects map[string]sim.Object, vs []sim.Value) []sim.Program) tasks.Outcome {
+	t.Helper()
+	objects := map[string]sim.Object{}
+	vs := make([]sim.Value, n)
+	inputs := map[int]sim.Value{}
+	for i := 0; i < n; i++ {
+		vs[i] = i * 100
+		inputs[i] = vs[i]
+	}
+	progs := build(objects, vs)
+	res, err := sim.Run(sim.Config{
+		Objects:   objects,
+		Programs:  progs,
+		Scheduler: sim.NewRandom(seed),
+		Seed:      seed * 7,
+	})
+	if err != nil {
+		t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+	}
+	if !res.AllDone() {
+		t.Fatalf("n=%d seed=%d: %v", n, seed, res.Status)
+	}
+	return tasks.OutcomeFromResult(res, inputs)
+}
+
+// TestPartitionProgramsAchieveTheorem41 (E7 constructive side): the
+// partition protocol never exceeds MinAgreement distinct decisions, over
+// many configurations and schedules.
+func TestPartitionProgramsAchieveTheorem41(t *testing.T) {
+	cases := []struct{ n, m, j int }{
+		{5, 3, 2}, {7, 3, 2}, {12, 3, 2}, {9, 4, 2}, {10, 4, 3}, {6, 5, 2}, {4, 8, 2},
+	}
+	for _, c := range cases {
+		bound := MinAgreement(c.n, c.m, c.j)
+		task := tasks.SetConsensus{K: bound}
+		for seed := int64(0); seed < 25; seed++ {
+			o := runWitness(t, c.n, seed, func(objects map[string]sim.Object, vs []sim.Value) []sim.Program {
+				return PartitionPrograms(objects, "P", c.m, c.j, vs)
+			})
+			if err := task.Check(o); err != nil {
+				t.Fatalf("n=%d m=%d j=%d seed=%d: %v", c.n, c.m, c.j, seed, err)
+			}
+		}
+	}
+}
+
+// TestConjProgramsAchieveConjPower (E10 constructive side): the
+// conjunction protocol never exceeds ConjPower distinct decisions.
+func TestConjProgramsAchieveConjPower(t *testing.T) {
+	cases := []struct{ n, consN, m, j int }{
+		{6, 2, 8, 2}, {9, 3, 4, 2}, {16, 2, 16, 2}, {16, 2, 8, 2}, {7, 3, 100, 2}, {5, 5, 4, 2},
+	}
+	for _, c := range cases {
+		bound := ConjPower(c.n, c.consN, c.m, c.j)
+		task := tasks.SetConsensus{K: bound}
+		for seed := int64(0); seed < 25; seed++ {
+			o := runWitness(t, c.n, seed, func(objects map[string]sim.Object, vs []sim.Value) []sim.Program {
+				return ConjPrograms(objects, "C", c.consN, c.m, c.j, vs)
+			})
+			if err := task.Check(o); err != nil {
+				t.Fatalf("n=%d consN=%d m=%d j=%d seed=%d: %v", c.n, c.consN, c.m, c.j, seed, err)
+			}
+		}
+	}
+}
+
+// TestFamilySeparationWitnessRuns (E10): run the actual witness system —
+// the stronger object's protocol achieves K = 2 where the calculus says
+// the weaker cannot.
+func TestFamilySeparationWitnessRuns(t *testing.T) {
+	f := Family{N: 2}
+	w := f.Separation(1)
+	if !w.Separated() {
+		t.Fatalf("witness %+v does not separate", w)
+	}
+	stronger := f.At(2)
+	task := tasks.SetConsensus{K: w.TaskK}
+	for seed := int64(0); seed < 10; seed++ {
+		o := runWitness(t, w.Procs, seed, func(objects map[string]sim.Object, vs []sim.Value) []sim.Program {
+			return ConjPrograms(objects, "W", stronger.ConsN, stronger.Set.N, stronger.Set.K, vs)
+		})
+		if err := task.Check(o); err != nil {
+			t.Fatalf("seed=%d: stronger object missed its own bound: %v", seed, err)
+		}
+	}
+}
+
+// TestQuickVerifyWitness: the DP partition always realizes the optimum.
+func TestQuickVerifyWitness(t *testing.T) {
+	f := func(rawN, rawC, rawM, rawJ uint8) bool {
+		n := int(rawN%30) + 1
+		consN := int(rawC%6) + 1
+		m := int(rawM%10) + 2
+		j := int(rawJ)%(m-1) + 1
+		return VerifyWitness(n, consN, m, j) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

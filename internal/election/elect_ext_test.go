@@ -1,0 +1,117 @@
+package election_test
+
+import (
+	"fmt"
+	"testing"
+
+	"detobj/internal/election"
+	"detobj/internal/setconsensus"
+	"detobj/internal/sim"
+	"detobj/internal/tasks"
+)
+
+// TestElectProgram: k-set election solved by proposing identifiers to a
+// set-consensus object (§2's equivalence, solving direction). This lives
+// in an external test package because setconsensus transitively imports
+// election.
+func TestElectProgram(t *testing.T) {
+	const n, k = 4, 2
+	for seed := int64(0); seed < 100; seed++ {
+		objects := map[string]sim.Object{"SC": setconsensus.NewObject(n, k)}
+		ref := setconsensus.Ref{Name: "SC"}
+		inputs := map[int]sim.Value{}
+		progs := make([]sim.Program, n)
+		for i := 0; i < n; i++ {
+			inputs[i] = i
+			progs[i] = election.ElectProgram(ref, i)
+		}
+		res, err := sim.Run(sim.Config{
+			Objects:   objects,
+			Programs:  progs,
+			Scheduler: sim.NewRandom(seed),
+			Seed:      seed,
+		})
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		o := tasks.OutcomeFromResult(res, inputs)
+		if err := (tasks.Election{K: k}).Check(o); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
+// TestProposerInterfaceSatisfied documents that setconsensus.Ref satisfies
+// election.Proposer.
+func TestProposerInterfaceSatisfied(t *testing.T) {
+	var _ election.Proposer = setconsensus.Ref{}
+}
+
+// TestConsensusFromElection (§2, the other direction): k-set consensus
+// built from a k-set election source plus announce registers. Validity and
+// k-agreement hold because at most k leaders are elected and every leader
+// announced its proposal before electing.
+func TestConsensusFromElection(t *testing.T) {
+	const n, k = 5, 2
+	task := tasks.SetConsensus{K: k}
+	for seed := int64(0); seed < 100; seed++ {
+		objects := map[string]sim.Object{"SC": setconsensus.NewObject(n, k)}
+		source := setconsensus.Ref{Name: "SC"}
+		red := election.NewConsensusFromElection(objects, "CE", n, source)
+		inputs := map[int]sim.Value{}
+		progs := make([]sim.Program, n)
+		for i := 0; i < n; i++ {
+			v := fmt.Sprintf("val%d", i)
+			inputs[i] = v
+			progs[i] = red.Program(i, v)
+		}
+		res, err := sim.Run(sim.Config{
+			Objects:   objects,
+			Programs:  progs,
+			Scheduler: sim.NewRandom(seed),
+			Seed:      seed * 3,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.AllDone() {
+			t.Fatalf("seed %d: %v", seed, res.Status)
+		}
+		o := tasks.OutcomeFromResult(res, inputs)
+		if err := task.Check(o); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestConsensusFromElectionCrash: the reduction stays wait-free for
+// survivors under crashes.
+func TestConsensusFromElectionCrash(t *testing.T) {
+	const n, k = 4, 2
+	for _, crashed := range [][]int{{0}, {3}, {1, 2}} {
+		for seed := int64(0); seed < 20; seed++ {
+			objects := map[string]sim.Object{"SC": setconsensus.NewObject(n, k)}
+			red := election.NewConsensusFromElection(objects, "CE", n, setconsensus.Ref{Name: "SC"})
+			inputs := map[int]sim.Value{}
+			progs := make([]sim.Program, n)
+			for i := 0; i < n; i++ {
+				v := fmt.Sprintf("val%d", i)
+				inputs[i] = v
+				progs[i] = red.Program(i, v)
+			}
+			res, err := sim.Run(sim.Config{
+				Objects:   objects,
+				Programs:  progs,
+				Scheduler: sim.NewCrashing(sim.NewRandom(seed), crashed...),
+				Seed:      seed,
+			})
+			if err != nil {
+				t.Fatalf("crashed=%v seed=%d: %v", crashed, seed, err)
+			}
+			o := tasks.OutcomeFromResult(res, inputs)
+			if err := (tasks.SetConsensus{K: k}).Check(o); err != nil {
+				t.Fatalf("crashed=%v seed=%d: %v", crashed, seed, err)
+			}
+		}
+	}
+}

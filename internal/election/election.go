@@ -1,0 +1,167 @@
+// Package election provides the k-set election machinery of paper §2 and
+// §5: solving k-set election from a set-consensus object (processes
+// propose their own identifiers), and the (k, k−1)-strong set election
+// object that Algorithm 5 consumes.
+//
+// Strong set election adds the self-election property: if any process
+// decides on p, then p decides on p. The paper relies on the known result
+// (Borowsky–Gafni, STOC '93) that k-strong set election is implementable
+// from k-set election; that reduction goes through the full BG simulation
+// and is prior work, so this library realizes strong set election directly
+// as a nondeterministic bounded-use object whose behaviours are exactly
+// the task's allowed outcomes (see DESIGN.md, Substitutions). Its
+// synchronization power is that of (k, k−1)-set consensus.
+package election
+
+import (
+	"fmt"
+
+	"detobj/internal/sim"
+)
+
+// StrongObject is a one-shot (k, k−1)-strong set election object for k
+// processes with indices {0..k−1}. Invoke(i) returns a winner index:
+// the object maintains a winner set of size at most k−1; the first
+// invoker always wins (returns its own index); a later invoker either
+// joins the winners (if room remains, chosen nondeterministically) or
+// adopts an existing winner. Every output w satisfies self-election by
+// construction: w was made a winner at its own invocation, which returned
+// w. Reusing an index is illegal and hangs the caller.
+type StrongObject struct {
+	k       int
+	used    []bool
+	winners []int
+}
+
+// NewStrongObject returns a fresh object for k processes, k ≥ 2.
+func NewStrongObject(k int) *StrongObject {
+	if k < 2 {
+		panic(fmt.Sprintf("election: k = %d, need k >= 2", k))
+	}
+	return &StrongObject{k: k, used: make([]bool, k)}
+}
+
+// K returns the object's arity.
+func (o *StrongObject) K() int { return o.k }
+
+// Winners returns a copy of the current winner set, for tests.
+func (o *StrongObject) Winners() []int {
+	return append([]int(nil), o.winners...)
+}
+
+// Apply implements sim.Object with the single operation "invoke"(i).
+func (o *StrongObject) Apply(env *sim.Env, inv sim.Invocation) sim.Response {
+	if inv.Op != "invoke" {
+		panic(fmt.Sprintf("election: unknown operation %q", inv.Op))
+	}
+	i, ok := inv.Arg(0).(int)
+	if !ok || i < 0 || i >= o.k {
+		panic(fmt.Sprintf("election: index %v outside [0,%d)", inv.Arg(0), o.k))
+	}
+	if o.used[i] {
+		return sim.HangCaller()
+	}
+	o.used[i] = true
+	switch {
+	case len(o.winners) == 0:
+		o.winners = append(o.winners, i)
+		return sim.Respond(i)
+	case len(o.winners) < o.k-1 && env.Rand.Intn(2) == 1:
+		o.winners = append(o.winners, i)
+		return sim.Respond(i)
+	default:
+		return sim.Respond(o.winners[env.Rand.Intn(len(o.winners))])
+	}
+}
+
+// StrongRef is a typed handle to a StrongObject registered under Name.
+type StrongRef struct {
+	Name string
+}
+
+// Invoke runs the strong set election for index i (one atomic step) and
+// returns the elected index.
+func (r StrongRef) Invoke(ctx *sim.Ctx, i int) int {
+	return ctx.Invoke(r.Name, "invoke", i).(int)
+}
+
+// Proposer is the handle of any object with a propose operation —
+// satisfied by setconsensus.Ref. It is declared here, at the consumer, to
+// keep the election package independent of the object packages.
+type Proposer interface {
+	Propose(ctx *sim.Ctx, v sim.Value) sim.Value
+}
+
+// ElectProgram returns the k-set election program for participant id: it
+// proposes its own identifier to the set-consensus object and decides the
+// returned identifier. This is the standard reduction of k-set election
+// to k-set consensus (§2).
+func ElectProgram(obj Proposer, id int) sim.Program {
+	return func(ctx *sim.Ctx) sim.Value {
+		return obj.Propose(ctx, id)
+	}
+}
+
+// ConsensusFromElection is the other direction of §2's equivalence: k-set
+// consensus from k-set election. Each participant publishes its proposal
+// in its announce register, runs the election by proposing its own id,
+// and decides the published proposal of the elected leader. The leader
+// announced before electing (program order), so the read never misses.
+type ConsensusFromElection struct {
+	elect    Proposer
+	announce []announceRef
+}
+
+// announceRef is a minimal register handle, kept local to avoid importing
+// the registers package (which would be fine, but the election package
+// only needs writes and reads).
+type announceRef struct {
+	name string
+}
+
+func (a announceRef) write(ctx *sim.Ctx, v sim.Value) { ctx.Invoke(a.name, "write", v) }
+func (a announceRef) read(ctx *sim.Ctx) sim.Value     { return ctx.Invoke(a.name, "read") }
+
+// announceObject is a plain MWMR register.
+type announceObject struct {
+	v sim.Value
+}
+
+// Apply implements sim.Object.
+func (r *announceObject) Apply(_ *sim.Env, inv sim.Invocation) sim.Response {
+	switch inv.Op {
+	case "read":
+		return sim.Respond(r.v)
+	case "write":
+		r.v = inv.Arg(0)
+		return sim.Respond(nil)
+	default:
+		panic(fmt.Sprintf("election: unknown announce operation %q", inv.Op))
+	}
+}
+
+// NewConsensusFromElection registers n announce registers under the name
+// prefix and returns the reduction over the given election object handle
+// (anything whose Propose solves k-set election on ids 0..n−1).
+func NewConsensusFromElection(objects map[string]sim.Object, name string, n int, elect Proposer) ConsensusFromElection {
+	refs := make([]announceRef, n)
+	for i := 0; i < n; i++ {
+		refs[i] = announceRef{name: sim.Indexed(name+".ann", i)}
+		objects[refs[i].name] = &announceObject{}
+	}
+	return ConsensusFromElection{elect: elect, announce: refs}
+}
+
+// Propose runs the reduction for participant id with proposal v.
+func (c ConsensusFromElection) Propose(ctx *sim.Ctx, id int, v sim.Value) sim.Value {
+	c.announce[id].write(ctx, v)
+	leader := c.elect.Propose(ctx, id).(int)
+	return c.announce[leader].read(ctx)
+}
+
+// Program wraps Propose as a process program.
+func (c ConsensusFromElection) Program(id int, v sim.Value) sim.Program {
+	return func(ctx *sim.Ctx) sim.Value {
+		return c.Propose(ctx, id, v)
+	}
+}

@@ -1,0 +1,80 @@
+// Package immediate implements the one-shot immediate snapshot of
+// Borowsky and Gafni from atomic snapshots: the "floors" algorithm. Each
+// participant descends floors n, n−1, ..., announcing its value and
+// current floor, and returns the set of processes at or below its floor as
+// soon as that set is at least as large as the floor number.
+//
+// The returned views satisfy self-inclusion, containment and immediacy
+// (tasks.ImmediateSnapshot). Immediate snapshots are the iterated building
+// block of the BG simulation and of the topological characterizations the
+// paper's results connect to; plain snapshots satisfy containment but not
+// immediacy.
+package immediate
+
+import (
+	"fmt"
+
+	"detobj/internal/sim"
+	"detobj/internal/snapshot"
+)
+
+// cell is a participant's announcement: its value and current floor.
+type cell struct {
+	Val   sim.Value
+	Floor int
+}
+
+// Protocol is a one-shot immediate snapshot instance for up to n
+// participants with slots 0..n−1.
+type Protocol struct {
+	n    int
+	snap snapshot.Snapshotter
+}
+
+// New registers the instance's shared state under name.
+func New(objects map[string]sim.Object, name string, n int) Protocol {
+	if n < 1 {
+		panic(fmt.Sprintf("immediate: n = %d", n))
+	}
+	return Protocol{n: n, snap: snapshot.NewObjectHandle(objects, name, n, nil)}
+}
+
+// N returns the number of participant slots.
+func (pr Protocol) N() int { return pr.n }
+
+// Execute performs the one-shot immediate snapshot for the participant on
+// the given slot with value v, returning its view: participant slot →
+// value, for every participant it saw at or below its final floor.
+func (pr Protocol) Execute(ctx *sim.Ctx, slot int, v sim.Value) map[int]sim.Value {
+	if slot < 0 || slot >= pr.n {
+		panic(fmt.Sprintf("immediate: slot %d outside [0,%d)", slot, pr.n))
+	}
+	if v == nil {
+		panic("immediate: nil value")
+	}
+	for floor := pr.n; floor >= 1; floor-- {
+		pr.snap.Update(ctx, slot, cell{Val: v, Floor: floor})
+		raw := pr.snap.Scan(ctx)
+		view := make(map[int]sim.Value)
+		for q, entry := range raw {
+			if entry == nil {
+				continue
+			}
+			c := entry.(cell)
+			if c.Floor <= floor {
+				view[q] = c.Val
+			}
+		}
+		if len(view) >= floor {
+			return view
+		}
+	}
+	panic("immediate: descended below floor 1") // |view| ≥ 1 at floor 1: it contains the caller
+}
+
+// Program wraps Execute as a process program returning the view.
+func (pr Protocol) Program(slot int, v sim.Value) sim.Program {
+	return func(ctx *sim.Ctx) sim.Value {
+		return pr.Execute(ctx, slot, v)
+	}
+}

@@ -1,0 +1,203 @@
+package immediate
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"detobj/internal/modelcheck"
+	"detobj/internal/sim"
+	"detobj/internal/tasks"
+)
+
+// runIS runs participants (by slot) through one instance and returns the
+// outcome.
+func runIS(t *testing.T, n int, slots []int, sched sim.Scheduler) tasks.Outcome {
+	t.Helper()
+	objects := map[string]sim.Object{}
+	pr := New(objects, "IS", n)
+	inputs := map[int]sim.Value{}
+	progs := make([]sim.Program, len(slots))
+	for p, slot := range slots {
+		v := fmt.Sprintf("v%d", slot)
+		progs[p] = pr.Program(slot, v)
+		inputs[slot] = v
+	}
+	res, err := sim.Run(sim.Config{Objects: objects, Programs: progs, Scheduler: sched, MaxSteps: 1 << 16})
+	if err != nil {
+		t.Fatalf("slots=%v: %v", slots, err)
+	}
+	if !res.AllDone() {
+		t.Fatalf("slots=%v: not wait-free: %v", slots, res.Status)
+	}
+	// Re-key outputs by slot (the task is specified over participant
+	// slots).
+	o := tasks.Outcome{Inputs: inputs, Outputs: map[int]sim.Value{}}
+	for p, slot := range slots {
+		o.Outputs[slot] = res.Outputs[p]
+	}
+	return o
+}
+
+// TestISPropertiesRandom: the three immediate-snapshot properties hold
+// over many random schedules and participant counts.
+func TestISPropertiesRandom(t *testing.T) {
+	task := tasks.ImmediateSnapshot{}
+	for n := 1; n <= 5; n++ {
+		slots := make([]int, n)
+		for i := range slots {
+			slots[i] = i
+		}
+		for seed := int64(0); seed < 60; seed++ {
+			o := runIS(t, n, slots, sim.NewRandom(seed))
+			if err := task.Check(o); err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	}
+}
+
+// TestISSubsetParticipation: only some slots participate.
+func TestISSubsetParticipation(t *testing.T) {
+	task := tasks.ImmediateSnapshot{}
+	for _, slots := range [][]int{{2}, {0, 3}, {1, 2, 4}} {
+		for seed := int64(0); seed < 20; seed++ {
+			o := runIS(t, 5, slots, sim.NewRandom(seed))
+			if err := task.Check(o); err != nil {
+				t.Fatalf("slots=%v seed=%d: %v", slots, seed, err)
+			}
+		}
+	}
+}
+
+// TestISSoloSeesItself: a solo participant's view is exactly itself.
+func TestISSoloSeesItself(t *testing.T) {
+	o := runIS(t, 4, []int{2}, nil)
+	view := o.Outputs[2].(map[int]sim.Value)
+	if len(view) != 1 || view[2] != "v2" {
+		t.Fatalf("solo view = %v", view)
+	}
+}
+
+// TestISSequentialViewsGrow: sequential participants see strictly growing
+// views (the later one sees everyone before it).
+func TestISSequentialViewsGrow(t *testing.T) {
+	o := runIS(t, 3, []int{0, 1, 2}, sim.Priority{0, 1, 2})
+	sizes := make([]int, 3)
+	for slot := 0; slot < 3; slot++ {
+		sizes[slot] = len(o.Outputs[slot].(map[int]sim.Value))
+	}
+	if sizes[0] != 1 || sizes[1] != 2 || sizes[2] != 3 {
+		t.Fatalf("sequential view sizes = %v, want [1 2 3]", sizes)
+	}
+	if err := (tasks.ImmediateSnapshot{}).Check(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestISExhaustiveSmall: every execution for n = 2 and n = 3 (the full
+// interleaving tree) satisfies the task.
+func TestISExhaustiveSmall(t *testing.T) {
+	task := tasks.ImmediateSnapshot{}
+	for n := 2; n <= 3; n++ {
+		n := n
+		inputs := map[int]sim.Value{}
+		for i := 0; i < n; i++ {
+			inputs[i] = fmt.Sprintf("v%d", i)
+		}
+		count, err := modelcheck.VerifyAll(func() sim.Config {
+			objects := map[string]sim.Object{}
+			pr := New(objects, "IS", n)
+			progs := make([]sim.Program, n)
+			for i := 0; i < n; i++ {
+				progs[i] = pr.Program(i, fmt.Sprintf("v%d", i))
+			}
+			return sim.Config{Objects: objects, Programs: progs}
+		}, 1<<20, func(res *sim.Result) error {
+			if !res.AllDone() {
+				return fmt.Errorf("not wait-free: %v", res.Status)
+			}
+			o := tasks.Outcome{Inputs: inputs, Outputs: map[int]sim.Value{}}
+			for i := 0; i < n; i++ {
+				o.Outputs[i] = res.Outputs[i]
+			}
+			return task.Check(o)
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		t.Logf("n=%d: %d executions verified", n, count)
+		if count < 2 {
+			t.Fatalf("n=%d: only %d executions", n, count)
+		}
+	}
+}
+
+// TestISQuickProperties: random participant subsets and schedules.
+func TestISQuickProperties(t *testing.T) {
+	task := tasks.ImmediateSnapshot{}
+	f := func(rawMask uint8, seed int64) bool {
+		const n = 4
+		var slots []int
+		for i := 0; i < n; i++ {
+			if rawMask&(1<<i) != 0 {
+				slots = append(slots, i)
+			}
+		}
+		if len(slots) == 0 {
+			return true
+		}
+		objects := map[string]sim.Object{}
+		pr := New(objects, "IS", n)
+		inputs := map[int]sim.Value{}
+		progs := make([]sim.Program, len(slots))
+		for p, slot := range slots {
+			v := fmt.Sprintf("v%d", slot)
+			progs[p] = pr.Program(slot, v)
+			inputs[slot] = v
+		}
+		res, err := sim.Run(sim.Config{
+			Objects:   objects,
+			Programs:  progs,
+			Scheduler: sim.NewRandom(seed),
+			MaxSteps:  1 << 16,
+		})
+		if err != nil || !res.AllDone() {
+			return false
+		}
+		o := tasks.Outcome{Inputs: inputs, Outputs: map[int]sim.Value{}}
+		for p, slot := range slots {
+			o.Outputs[slot] = res.Outputs[p]
+		}
+		return task.Check(o) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestISValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("New with n=0 did not panic")
+			}
+		}()
+		New(map[string]sim.Object{}, "x", 0)
+	}()
+	objects := map[string]sim.Object{}
+	pr := New(objects, "IS", 2)
+	if pr.N() != 2 {
+		t.Errorf("N = %d", pr.N())
+	}
+	for _, bad := range []sim.Program{
+		func(ctx *sim.Ctx) sim.Value { return pr.Execute(ctx, 7, "v") },
+		func(ctx *sim.Ctx) sim.Value { return pr.Execute(ctx, 0, nil) },
+	} {
+		_, err := sim.Run(sim.Config{Objects: objects, Programs: []sim.Program{bad}})
+		if !errors.Is(err, sim.ErrProgramPanic) {
+			t.Errorf("err = %v, want ErrProgramPanic", err)
+		}
+	}
+}

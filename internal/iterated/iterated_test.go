@@ -1,0 +1,202 @@
+package iterated
+
+import (
+	"fmt"
+	"testing"
+
+	"detobj/internal/modelcheck"
+	"detobj/internal/sim"
+)
+
+// countOutcomes enumerates every execution of an n-process, r-round IIS
+// and returns the number of distinct joint-outcome patterns (simplices of
+// the protocol complex).
+func countOutcomes(t *testing.T, n, rounds int) (patterns, executions int) {
+	t.Helper()
+	seen := map[string]bool{}
+	count, err := modelcheck.Explore(func() sim.Config {
+		objects := map[string]sim.Object{}
+		pr := New(objects, "IIS", n, rounds)
+		progs := make([]sim.Program, n)
+		for i := 0; i < n; i++ {
+			progs[i] = pr.Program(i, fmt.Sprintf("v%d", i))
+		}
+		return sim.Config{Objects: objects, Programs: progs}
+	}, 1<<21, func(e modelcheck.Execution) error {
+		if !e.Result.AllDone() {
+			return fmt.Errorf("not wait-free: %v", e.Result.Status)
+		}
+		seen[OutcomeSignature(e.Result.Outputs)] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("n=%d rounds=%d: %v", n, rounds, err)
+	}
+	return len(seen), count
+}
+
+// TestProtocolComplexCounts (E16): the number of distinct IIS outcome
+// patterns equals the simplex count of the chromatic subdivision — the
+// Fubini number F(n) (ordered set partitions) for one round, and F(2)^r =
+// 3^r for 2 processes over r rounds.
+func TestProtocolComplexCounts(t *testing.T) {
+	cases := []struct {
+		n, rounds, want int
+	}{
+		{2, 1, 3},  // F(2): the subdivided edge has 3 facets
+		{2, 2, 9},  // 3^2: each facet subdivides into 3
+		{3, 1, 13}, // F(3): the chromatic subdivision of a triangle
+	}
+	for _, c := range cases {
+		patterns, executions := countOutcomes(t, c.n, c.rounds)
+		t.Logf("n=%d rounds=%d: %d executions collapse to %d patterns", c.n, c.rounds, executions, patterns)
+		if patterns != c.want {
+			t.Errorf("n=%d rounds=%d: %d outcome patterns, want %d", c.n, c.rounds, patterns, c.want)
+		}
+	}
+}
+
+// TestIISFullInformationChaining: each round's view carries the previous
+// round's view, so a process's final view determines its whole history.
+func TestIISFullInformationChaining(t *testing.T) {
+	objects := map[string]sim.Object{}
+	pr := New(objects, "IIS", 2, 3)
+	if pr.Rounds() != 3 {
+		t.Fatalf("Rounds = %d", pr.Rounds())
+	}
+	res, err := sim.Run(sim.Config{
+		Objects: objects,
+		Programs: []sim.Program{func(ctx *sim.Ctx) sim.Value {
+			views := pr.Execute(ctx, 0, "x")
+			return views
+		}},
+		MaxSteps: 1 << 16,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	views := res.Outputs[0].([]map[int]sim.Value)
+	// Solo run: every round's view is {0: previous}.
+	if views[0][0] != "x" {
+		t.Errorf("round 0 view = %v", views[0])
+	}
+	if Signature(views[1][0]) != Signature(views[0]) {
+		t.Errorf("round 1 did not carry round 0's view: %v", views[1])
+	}
+	if Signature(views[2][0]) != Signature(views[1]) {
+		t.Errorf("round 2 did not carry round 1's view: %v", views[2])
+	}
+}
+
+// TestIISSequentialDominance: under a sequential schedule, the later
+// process's final view strictly contains information about the earlier.
+func TestIISSequentialDominance(t *testing.T) {
+	objects := map[string]sim.Object{}
+	pr := New(objects, "IIS", 2, 1)
+	progs := []sim.Program{pr.Program(0, "a"), pr.Program(1, "b")}
+	res, err := sim.Run(sim.Config{
+		Objects:   objects,
+		Programs:  progs,
+		Scheduler: sim.Priority{0, 1},
+		MaxSteps:  1 << 16,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	v0 := res.Outputs[0].(map[int]sim.Value)
+	v1 := res.Outputs[1].(map[int]sim.Value)
+	if len(v0) != 1 || len(v1) != 2 {
+		t.Errorf("sequential views sized %d and %d, want 1 and 2", len(v0), len(v1))
+	}
+}
+
+func TestSignatureCanonical(t *testing.T) {
+	a := map[int]sim.Value{1: "y", 0: "x"}
+	b := map[int]sim.Value{0: "x", 1: "y"}
+	if Signature(a) != Signature(b) {
+		t.Error("signature not canonical across map orders")
+	}
+	if Signature("plain") != "plain" {
+		t.Error("scalar signature mangled")
+	}
+	nested := map[int]sim.Value{0: a}
+	if Signature(nested) != "{0:{0:x 1:y}}" {
+		t.Errorf("nested signature = %s", Signature(nested))
+	}
+}
+
+func TestIteratedValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { New(map[string]sim.Object{}, "x", 0, 1) },
+		func() { New(map[string]sim.Object{}, "x", 2, 0) },
+	} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid parameters did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// TestProtocolComplexIsChromaticSubdivision (E16, exact form): the SET of
+// outcome signatures produced by exhaustive execution enumeration equals
+// the set generated combinatorially from ordered set partitions — the
+// protocol complex is the chromatic subdivision itself.
+func TestProtocolComplexIsChromaticSubdivision(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		n := n
+		inputs := make([]sim.Value, n)
+		for i := range inputs {
+			inputs[i] = fmt.Sprintf("v%d", i)
+		}
+		expected := OneRoundComplex(inputs)
+
+		observed := map[string]bool{}
+		_, err := modelcheck.Explore(func() sim.Config {
+			objects := map[string]sim.Object{}
+			pr := New(objects, "IIS", n, 1)
+			progs := make([]sim.Program, n)
+			for i := 0; i < n; i++ {
+				progs[i] = pr.Program(i, inputs[i])
+			}
+			return sim.Config{Objects: objects, Programs: progs}
+		}, 1<<21, func(e modelcheck.Execution) error {
+			observed[OutcomeSignature(e.Result.Outputs)] = true
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for sig := range expected {
+			if !observed[sig] {
+				t.Errorf("n=%d: expected simplex never produced: %s", n, sig)
+			}
+		}
+		for sig := range observed {
+			if !expected[sig] {
+				t.Errorf("n=%d: produced outcome outside the subdivision: %s", n, sig)
+			}
+		}
+		if len(expected) != len(observed) {
+			t.Errorf("n=%d: %d expected vs %d observed", n, len(expected), len(observed))
+		}
+	}
+}
+
+func TestOneRoundComplexCounts(t *testing.T) {
+	// Fubini numbers: ordered set partitions of 1, 2, 3, 4 elements.
+	wants := map[int]int{1: 1, 2: 3, 3: 13, 4: 75}
+	for n, want := range wants {
+		inputs := make([]sim.Value, n)
+		for i := range inputs {
+			inputs[i] = i
+		}
+		if got := len(OneRoundComplex(inputs)); got != want {
+			t.Errorf("n=%d: %d simplices, want Fubini %d", n, got, want)
+		}
+	}
+}

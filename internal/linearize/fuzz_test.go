@@ -1,0 +1,55 @@
+package linearize
+
+import (
+	"testing"
+
+	"detobj/internal/sim"
+)
+
+// FuzzCheckAgainstBruteForce drives the DFS checker against exhaustive
+// permutation search on arbitrary small register histories. Run with
+// `go test -fuzz FuzzCheckAgainstBruteForce ./internal/linearize` to
+// explore beyond the seed corpus.
+func FuzzCheckAgainstBruteForce(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, []byte{1, 0, 2})
+	f.Add([]byte{5, 4, 3, 2, 1, 0}, []byte{0, 0, 0})
+	f.Add([]byte{0, 3, 1, 4, 2, 5}, []byte{2, 1, 2})
+	f.Fuzz(func(t *testing.T, times []byte, kinds []byte) {
+		n := len(kinds)
+		if n == 0 || n > 4 || len(times) < 2*n {
+			t.Skip()
+		}
+		ops := make([]Op, n)
+		for i := 0; i < n; i++ {
+			a, b := int(times[2*i]), int(times[2*i+1])
+			if a == b {
+				b++
+			}
+			if a > b {
+				a, b = b, a
+			}
+			// Give every op a distinct interval basis to keep seqs unique
+			// enough; overlaps are still arbitrary.
+			a, b = a*4+i, b*4+i+1
+			if kinds[i]%2 == 0 {
+				ops[i] = Op{Proc: i, Name: "write", Args: []sim.Value{int(kinds[i] % 3)}, Call: a, Return: b}
+			} else {
+				ops[i] = Op{Proc: i, Name: "read", Out: int(kinds[i] % 3), Call: a, Return: b}
+			}
+		}
+		spec := Spec{
+			Init: func() any { return 0 },
+			Apply: func(state any, name string, args []sim.Value) (any, sim.Value) {
+				if name == "write" {
+					return args[0], nil
+				}
+				return state, state
+			},
+		}
+		got := Check(spec, ops).OK
+		want := bruteForce(spec, ops)
+		if got != want {
+			t.Fatalf("Check = %v, brute force = %v, ops = %v", got, want, ops)
+		}
+	})
+}

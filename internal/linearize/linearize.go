@@ -1,0 +1,220 @@
+// Package linearize implements a Wing–Gong style linearizability checker:
+// given the real-time history of operations observed on an (implemented)
+// object and a sequential specification, it searches for a legal
+// linearization — a total order of the operations that respects real-time
+// precedence and the specification. The search is exponential in the
+// worst case but memoizes on (set of linearized operations, state), which
+// makes the small histories produced by the simulator cheap to check.
+//
+// Histories are extracted from sim traces via Ops: algorithm code brackets
+// each logical operation with Ctx.BeginOp / Ctx.EndOp, and the checker
+// consumes those intervals.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"detobj/internal/sim"
+)
+
+// MaxOps bounds the number of operations per checked history (the
+// memoization set is a 64-bit mask).
+const MaxOps = 64
+
+// Op is one operation interval in a history. A pending operation (a call
+// whose issuer crashed before returning) has Pending set; it may have
+// taken effect, so the checker is allowed to linearize it at any point
+// after its call — with an unconstrained result — or to drop it entirely.
+type Op struct {
+	// Proc is the process that issued the operation.
+	Proc int
+	// Name and Args identify the operation.
+	Name string
+	Args []sim.Value
+	// Out is the observed result (meaningless when Pending).
+	Out sim.Value
+	// Call and Return are the global sequence numbers of the operation's
+	// start and completion; Call < Return always. Pending operations have
+	// Return set to a value larger than every other sequence number.
+	Call   int
+	Return int
+	// Pending marks an uncompleted operation.
+	Pending bool
+}
+
+// String renders the op with its interval.
+func (o Op) String() string {
+	return fmt.Sprintf("P%d %s [%d,%d] -> %v", o.Proc, sim.Invocation{Op: o.Name, Args: o.Args}, o.Call, o.Return, o.Out)
+}
+
+// Spec is a sequential specification. States must be treated as immutable:
+// Apply returns a fresh state rather than mutating its argument.
+type Spec struct {
+	// Init returns the initial state.
+	Init func() any
+	// Apply applies one operation to a state, returning the successor
+	// state and the specified output.
+	Apply func(state any, name string, args []sim.Value) (any, sim.Value)
+	// Key serializes a state for memoization; nil defaults to fmt.Sprintf("%v").
+	Key func(state any) string
+	// Equal compares an observed output with the specified one; nil
+	// defaults to ==. Provide it when outputs are slices.
+	Equal func(observed, specified sim.Value) bool
+}
+
+func (s Spec) key(state any) string {
+	if s.Key != nil {
+		return s.Key(state)
+	}
+	return fmt.Sprintf("%v", state)
+}
+
+func (s Spec) equal(a, b sim.Value) bool {
+	if s.Equal != nil {
+		return s.Equal(a, b)
+	}
+	return a == b
+}
+
+// Ops extracts the completed operation intervals on the named logical
+// object from a trace. Operations left pending (a call with no return) are
+// ignored, which corresponds to linearizing the empty subset of the
+// uncompleted operations; use OpsWithPending when pending operations may
+// have taken effect (crashed callers).
+func Ops(t sim.Trace, object string) []Op {
+	done, _ := OpsWithPending(t, object)
+	return done
+}
+
+// OpsWithPending extracts both the completed operation intervals and the
+// pending ones (calls with no matching return) on the named object.
+// Pending ops carry Pending=true and a Return beyond every sequence
+// number, so Check may linearize them anywhere after their call or drop
+// them.
+func OpsWithPending(t sim.Trace, object string) (completed, pending []Op) {
+	open := make(map[int]*Op)
+	maxSeq := 0
+	for _, e := range t.Events {
+		if e.Seq > maxSeq {
+			maxSeq = e.Seq
+		}
+		if e.Object != object {
+			continue
+		}
+		switch e.Kind {
+		case sim.EventCall:
+			op := &Op{Proc: e.Proc, Name: e.Op, Args: e.Args, Call: e.Seq}
+			open[e.Proc] = op
+		case sim.EventReturn:
+			op, ok := open[e.Proc]
+			if !ok {
+				continue
+			}
+			op.Return = e.Seq
+			op.Out = e.Out
+			completed = append(completed, *op)
+			delete(open, e.Proc)
+		}
+	}
+	for _, op := range open {
+		op.Pending = true
+		op.Return = maxSeq + 1
+		pending = append(pending, *op)
+	}
+	sort.Slice(completed, func(i, j int) bool { return completed[i].Call < completed[j].Call })
+	sort.Slice(pending, func(i, j int) bool { return pending[i].Call < pending[j].Call })
+	return completed, pending
+}
+
+// Result reports the outcome of a check.
+type Result struct {
+	// OK is true if a legal linearization exists.
+	OK bool
+	// Order, when OK, lists indices into the checked ops slice in
+	// linearization order.
+	Order []int
+}
+
+// Check searches for a linearization of ops under spec. It panics if more
+// than MaxOps operations are supplied.
+func Check(spec Spec, ops []Op) Result {
+	if len(ops) > MaxOps {
+		panic(fmt.Sprintf("linearize: %d operations exceed the %d-op limit", len(ops), MaxOps))
+	}
+	c := &checker{spec: spec, ops: ops, failed: make(map[string]struct{})}
+	order := make([]int, 0, len(ops))
+	if c.search(0, spec.Init(), order) {
+		return Result{OK: true, Order: c.found}
+	}
+	return Result{OK: false}
+}
+
+type checker struct {
+	spec   Spec
+	ops    []Op
+	failed map[string]struct{}
+	found  []int
+}
+
+// search tries to extend the linearization; linearized is a bitmask of
+// already-ordered ops. Pending ops need not be linearized; completed ops
+// must be.
+func (c *checker) search(linearized uint64, state any, order []int) bool {
+	remaining := false
+	for i, op := range c.ops {
+		if !op.Pending && linearized&(1<<uint(i)) == 0 {
+			remaining = true
+			break
+		}
+	}
+	if !remaining {
+		c.found = append([]int(nil), order...)
+		return true
+	}
+	memo := fmt.Sprintf("%x|%s", linearized, c.spec.key(state))
+	if _, seen := c.failed[memo]; seen {
+		return false
+	}
+	// minReturn over unlinearized ops: an op may go next only if its call
+	// precedes every unlinearized op's return.
+	minReturn := int(^uint(0) >> 1)
+	for i, op := range c.ops {
+		if linearized&(1<<uint(i)) == 0 && op.Return < minReturn {
+			minReturn = op.Return
+		}
+	}
+	for i, op := range c.ops {
+		if linearized&(1<<uint(i)) != 0 {
+			continue
+		}
+		if op.Call > minReturn {
+			continue // some unlinearized op completed before this one began
+		}
+		next, out := c.spec.Apply(state, op.Name, op.Args)
+		if !op.Pending && !c.spec.equal(op.Out, out) {
+			continue
+		}
+		if c.search(linearized|1<<uint(i), next, append(order, i)) {
+			return true
+		}
+	}
+	c.failed[memo] = struct{}{}
+	return false
+}
+
+// Explain renders a linearization order for diagnostics.
+func Explain(ops []Op, r Result) string {
+	if !r.OK {
+		return "not linearizable"
+	}
+	var b strings.Builder
+	for pos, idx := range r.Order {
+		if pos > 0 {
+			b.WriteString(" ; ")
+		}
+		b.WriteString(ops[idx].String())
+	}
+	return b.String()
+}

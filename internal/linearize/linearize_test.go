@@ -1,0 +1,314 @@
+package linearize
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"detobj/internal/sim"
+)
+
+// registerSpec is the sequential specification of a read/write register.
+func registerSpec(initial sim.Value) Spec {
+	return Spec{
+		Init: func() any { return initial },
+		Apply: func(state any, name string, args []sim.Value) (any, sim.Value) {
+			switch name {
+			case "write":
+				return args[0], nil
+			case "read":
+				return state, state
+			default:
+				panic("unknown op " + name)
+			}
+		},
+	}
+}
+
+// counterSpec is the sequential specification of an inc/read counter.
+func counterSpec() Spec {
+	return Spec{
+		Init: func() any { return 0 },
+		Apply: func(state any, name string, args []sim.Value) (any, sim.Value) {
+			n := state.(int)
+			switch name {
+			case "inc":
+				return n + 1, nil
+			case "read":
+				return n, n
+			default:
+				panic("unknown op " + name)
+			}
+		},
+	}
+}
+
+func TestCheckLinearizableRegisterHistory(t *testing.T) {
+	// P0: write(1) [0,3]   P1: read->1 [1,2] — read overlaps the write and
+	// sees it: linearizable.
+	ops := []Op{
+		{Proc: 0, Name: "write", Args: []sim.Value{1}, Call: 0, Return: 3},
+		{Proc: 1, Name: "read", Out: 1, Call: 1, Return: 2},
+	}
+	res := Check(registerSpec(0), ops)
+	if !res.OK {
+		t.Fatal("linearizable history rejected")
+	}
+	if len(res.Order) != 2 || res.Order[0] != 0 {
+		t.Errorf("order = %v, want write first", res.Order)
+	}
+	if !strings.Contains(Explain(ops, res), "write") {
+		t.Error("Explain output missing ops")
+	}
+}
+
+func TestCheckNonLinearizableRegisterHistory(t *testing.T) {
+	// The write completes strictly before the read begins, but the read
+	// misses it: not linearizable.
+	ops := []Op{
+		{Proc: 0, Name: "write", Args: []sim.Value{1}, Call: 0, Return: 1},
+		{Proc: 1, Name: "read", Out: 0, Call: 2, Return: 3},
+	}
+	res := Check(registerSpec(0), ops)
+	if res.OK {
+		t.Fatal("non-linearizable history accepted")
+	}
+	if Explain(ops, res) != "not linearizable" {
+		t.Errorf("Explain = %q", Explain(ops, res))
+	}
+}
+
+func TestCheckNewOldInversion(t *testing.T) {
+	// Classic new/old inversion: two sequential reads during a write, the
+	// first sees the new value, the second the old one. Not linearizable.
+	ops := []Op{
+		{Proc: 0, Name: "write", Args: []sim.Value{1}, Call: 0, Return: 7},
+		{Proc: 1, Name: "read", Out: 1, Call: 1, Return: 2},
+		{Proc: 1, Name: "read", Out: 0, Call: 3, Return: 4},
+	}
+	if Check(registerSpec(0), ops).OK {
+		t.Fatal("new/old inversion accepted")
+	}
+}
+
+func TestCheckCounterConcurrentIncs(t *testing.T) {
+	// Two overlapping incs and a later read of 2: linearizable.
+	ops := []Op{
+		{Proc: 0, Name: "inc", Call: 0, Return: 3},
+		{Proc: 1, Name: "inc", Call: 1, Return: 2},
+		{Proc: 2, Name: "read", Out: 2, Call: 4, Return: 5},
+	}
+	if !Check(counterSpec(), ops).OK {
+		t.Fatal("valid counter history rejected")
+	}
+	// Read of 1 after both incs completed: not linearizable.
+	ops[2].Out = 1
+	if Check(counterSpec(), ops).OK {
+		t.Fatal("stale counter read accepted")
+	}
+}
+
+func TestCheckEmptyHistory(t *testing.T) {
+	if !Check(registerSpec(0), nil).OK {
+		t.Fatal("empty history rejected")
+	}
+}
+
+func TestCheckTooManyOpsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized history did not panic")
+		}
+	}()
+	Check(registerSpec(0), make([]Op, MaxOps+1))
+}
+
+func TestOpsExtraction(t *testing.T) {
+	tr := sim.Trace{Events: []sim.Event{
+		{Seq: 0, Kind: sim.EventCall, Proc: 0, Object: "X", Op: "write", Args: []sim.Value{1}},
+		{Seq: 1, Kind: sim.EventCall, Proc: 1, Object: "X", Op: "read"},
+		{Seq: 2, Kind: sim.EventStep, Proc: 0, Object: "base", Op: "w"},
+		{Seq: 3, Kind: sim.EventReturn, Proc: 1, Object: "X", Op: "read", Out: 1},
+		{Seq: 4, Kind: sim.EventReturn, Proc: 0, Object: "X", Op: "write"},
+		{Seq: 5, Kind: sim.EventCall, Proc: 2, Object: "X", Op: "read"}, // never returns
+		{Seq: 6, Kind: sim.EventCall, Proc: 3, Object: "Y", Op: "read"}, // other object
+	}}
+	ops := Ops(tr, "X")
+	if len(ops) != 2 {
+		t.Fatalf("extracted %d ops, want 2", len(ops))
+	}
+	if ops[0].Name != "write" || ops[0].Call != 0 || ops[0].Return != 4 {
+		t.Errorf("ops[0] = %v", ops[0])
+	}
+	if ops[1].Name != "read" || ops[1].Out != 1 || ops[1].Call != 1 || ops[1].Return != 3 {
+		t.Errorf("ops[1] = %v", ops[1])
+	}
+}
+
+func TestOpsOrphanReturnIgnored(t *testing.T) {
+	tr := sim.Trace{Events: []sim.Event{
+		{Seq: 0, Kind: sim.EventReturn, Proc: 0, Object: "X", Op: "read", Out: 1},
+	}}
+	if got := Ops(tr, "X"); len(got) != 0 {
+		t.Errorf("orphan return produced ops: %v", got)
+	}
+}
+
+// bruteForce checks linearizability by trying every permutation.
+func bruteForce(spec Spec, ops []Op) bool {
+	n := len(ops)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var try func(k int) bool
+	valid := func(order []int) bool {
+		// Real-time precedence.
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if ops[order[b]].Return < ops[order[a]].Call {
+					return false
+				}
+			}
+		}
+		state := spec.Init()
+		for _, idx := range order {
+			var out sim.Value
+			state, out = spec.Apply(state, ops[idx].Name, ops[idx].Args)
+			if !spec.equal(ops[idx].Out, out) {
+				return false
+			}
+		}
+		return true
+	}
+	try = func(k int) bool {
+		if k == n {
+			return valid(perm)
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if try(k + 1) {
+				return true
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return false
+	}
+	return try(0)
+}
+
+// TestCheckAgreesWithBruteForce generates random small register histories
+// and compares the DFS checker against exhaustive permutation search.
+func TestCheckAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + rng.Intn(4)
+		// Random intervals over distinct time points.
+		times := rng.Perm(2 * n)
+		ops := make([]Op, n)
+		for i := range ops {
+			a, b := times[2*i], times[2*i+1]
+			if a > b {
+				a, b = b, a
+			}
+			if rng.Intn(2) == 0 {
+				ops[i] = Op{Proc: i, Name: "write", Args: []sim.Value{rng.Intn(3)}, Call: a, Return: b}
+			} else {
+				ops[i] = Op{Proc: i, Name: "read", Out: rng.Intn(3), Call: a, Return: b}
+			}
+		}
+		spec := registerSpec(0)
+		got := Check(spec, ops).OK
+		want := bruteForce(spec, ops)
+		if got != want {
+			t.Fatalf("trial %d: Check = %v, brute force = %v, ops = %v", trial, got, want, ops)
+		}
+	}
+}
+
+func TestSpecEqualCustom(t *testing.T) {
+	spec := Spec{
+		Init: func() any { return []int{1, 2} },
+		Apply: func(state any, name string, args []sim.Value) (any, sim.Value) {
+			return state, state
+		},
+		Equal: func(observed, specified sim.Value) bool {
+			a, b := observed.([]int), specified.([]int)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		},
+		Key: func(state any) string { return "s" },
+	}
+	ops := []Op{{Proc: 0, Name: "scan", Out: []int{1, 2}, Call: 0, Return: 1}}
+	if !Check(spec, ops).OK {
+		t.Fatal("custom Equal not used")
+	}
+}
+
+func TestPendingOpMayBeIncluded(t *testing.T) {
+	// A pending write whose effect was observed: the read of 1 is only
+	// explainable if the pending write linearizes before it.
+	ops := []Op{
+		{Proc: 0, Name: "write", Args: []sim.Value{1}, Call: 0, Return: 100, Pending: true},
+		{Proc: 1, Name: "read", Out: 1, Call: 2, Return: 3},
+	}
+	if !Check(registerSpec(0), ops).OK {
+		t.Fatal("history with effective pending write rejected")
+	}
+}
+
+func TestPendingOpMayBeDropped(t *testing.T) {
+	// A pending write that never took effect: the read still sees 0.
+	ops := []Op{
+		{Proc: 0, Name: "write", Args: []sim.Value{1}, Call: 0, Return: 100, Pending: true},
+		{Proc: 1, Name: "read", Out: 0, Call: 2, Return: 3},
+	}
+	if !Check(registerSpec(0), ops).OK {
+		t.Fatal("history with ineffective pending write rejected")
+	}
+}
+
+func TestPendingCannotRescueImpossibleHistory(t *testing.T) {
+	// Even with a pending write of 1, a read of 2 is unexplainable.
+	ops := []Op{
+		{Proc: 0, Name: "write", Args: []sim.Value{1}, Call: 0, Return: 100, Pending: true},
+		{Proc: 1, Name: "read", Out: 2, Call: 2, Return: 3},
+	}
+	if Check(registerSpec(0), ops).OK {
+		t.Fatal("unexplainable read accepted")
+	}
+}
+
+func TestPendingRespectsCallOrder(t *testing.T) {
+	// The pending op begins only after the read completes, so it cannot
+	// explain the read.
+	ops := []Op{
+		{Proc: 1, Name: "read", Out: 1, Call: 0, Return: 1},
+		{Proc: 0, Name: "write", Args: []sim.Value{1}, Call: 2, Return: 100, Pending: true},
+	}
+	if Check(registerSpec(0), ops).OK {
+		t.Fatal("pending op linearized before its call")
+	}
+}
+
+func TestOpsWithPendingExtraction(t *testing.T) {
+	tr := sim.Trace{Events: []sim.Event{
+		{Seq: 0, Kind: sim.EventCall, Proc: 0, Object: "X", Op: "write", Args: []sim.Value{1}},
+		{Seq: 1, Kind: sim.EventCall, Proc: 1, Object: "X", Op: "read"},
+		{Seq: 2, Kind: sim.EventReturn, Proc: 1, Object: "X", Op: "read", Out: 1},
+	}}
+	done, pending := OpsWithPending(tr, "X")
+	if len(done) != 1 || len(pending) != 1 {
+		t.Fatalf("done=%d pending=%d, want 1 and 1", len(done), len(pending))
+	}
+	if !pending[0].Pending || pending[0].Return <= 2 {
+		t.Errorf("pending op malformed: %+v", pending[0])
+	}
+}

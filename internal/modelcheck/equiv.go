@@ -1,0 +1,261 @@
+package modelcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"detobj/internal/sim"
+)
+
+// Finite is a deterministic object with an enumerable state space:
+// serializable state and deep copies. The registers, wrn and consensus
+// packages implement it for their objects.
+type Finite interface {
+	sim.Object
+	// StateKey serializes the current state; equal keys mean equal states.
+	StateKey() string
+	// CloneObject returns a deep copy; the result must itself be Finite.
+	CloneObject() sim.Object
+}
+
+// stepFinite applies inv to a copy of s and returns (successor, rendered
+// output). A hang is rendered as the distinguished token and leaves the
+// state unchanged (the operation never completes).
+func stepFinite(s Finite, inv sim.Invocation) (Finite, string) {
+	next := s.CloneObject().(Finite)
+	resp := next.Apply(&sim.Env{}, inv)
+	if resp.Effect == sim.Hang {
+		return s, "<hang>"
+	}
+	return next, fmt.Sprint(resp.Value)
+}
+
+// Reachable returns all states reachable from init by applying operations
+// from alphabet, keyed by StateKey. maxStates guards against unbounded
+// spaces (0 means 1<<16).
+func Reachable(init Finite, alphabet []sim.Invocation, maxStates int) (map[string]Finite, error) {
+	if maxStates <= 0 {
+		maxStates = 1 << 16
+	}
+	states := map[string]Finite{init.StateKey(): init}
+	frontier := []Finite{init}
+	for len(frontier) > 0 {
+		var next []Finite
+		for _, s := range frontier {
+			for _, inv := range alphabet {
+				succ, _ := stepFinite(s, inv)
+				key := succ.StateKey()
+				if _, seen := states[key]; !seen {
+					if len(states) >= maxStates {
+						return nil, fmt.Errorf("modelcheck: state space exceeds %d states", maxStates)
+					}
+					states[key] = succ
+					next = append(next, succ)
+				}
+			}
+		}
+		frontier = next
+	}
+	return states, nil
+}
+
+// ObsClasses partitions the states into observational-equivalence classes
+// with respect to the operation alphabet: two states are equivalent iff no
+// sequence of operations can produce different outputs from them. It is
+// the standard partition-refinement (bisimulation) computation; since the
+// objects are deterministic, observational equivalence and bisimilarity
+// coincide.
+func ObsClasses(states map[string]Finite, alphabet []sim.Invocation) map[string]int {
+	keys := make([]string, 0, len(states))
+	for k := range states {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	class := make(map[string]int, len(keys))
+	for _, k := range keys {
+		class[k] = 0
+	}
+	for {
+		sigs := make(map[string]int)
+		next := make(map[string]int, len(keys))
+		for _, k := range keys {
+			var b strings.Builder
+			for _, inv := range alphabet {
+				succ, out := stepFinite(states[k], inv)
+				fmt.Fprintf(&b, "%s>%d|", out, class[succ.StateKey()])
+			}
+			sig := b.String()
+			id, ok := sigs[sig]
+			if !ok {
+				id = len(sigs)
+				sigs[sig] = id
+			}
+			next[k] = id
+		}
+		if sameClasses(class, next, keys) {
+			return next
+		}
+		class = next
+	}
+}
+
+func sameClasses(a, b map[string]int, keys []string) bool {
+	// Classes are equal iff the partitions coincide; since ids are
+	// assigned in first-seen order over the same sorted keys, equality of
+	// the maps suffices.
+	for _, k := range keys {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// PairFailure records a violation of the Lemma 38 obligations: a reachable
+// state and a pair of pending operations such that BOTH issuing processes
+// can distinguish the execution orders. An object with no failures cannot
+// escape the critical-configuration argument — it cannot solve 2-process
+// consensus — while each failure pinpoints exactly the synchronization
+// power a stronger object (SWAP, test-and-set, a consensus cell) exposes.
+type PairFailure struct {
+	// State is the state key of the critical configuration.
+	State string
+	// A is the pending operation of the first process, B of the second.
+	A, B sim.Invocation
+}
+
+// String renders the failure.
+func (p PairFailure) String() string {
+	return fmt.Sprintf("state %s: %s vs %s distinguishable by both", p.State, p.A, p.B)
+}
+
+// IndistReport is the outcome of CheckIndistinguishability.
+type IndistReport struct {
+	// States is the size of the reachable state space.
+	States int
+	// Pairs is the number of (state, opA, opB) triples checked.
+	Pairs int
+	// Failures lists the triples where some issuer survives both orders
+	// yet observes them differently — genuine synchronization power.
+	Failures []PairFailure
+	// Degenerate lists the triples where neither issuer survives both
+	// orders (a hang is involved) and no indistinguishability holds: the
+	// plain critical-configuration argument is inapplicable there, but the
+	// pair yields no distinguishing survivor either. One-shot objects
+	// produce these on repeated-index pairs.
+	Degenerate []PairFailure
+}
+
+// Passed reports whether the object exposed no distinguishing pair: no
+// process can both survive a pending-operation race and observe its order,
+// which is the engine of every 2-consensus protocol.
+func (r *IndistReport) Passed() bool { return len(r.Failures) == 0 }
+
+// Clean reports whether additionally no degenerate pairs occurred, i.e.
+// the textbook critical-configuration argument of Lemma 38 applies
+// verbatim (true for multi-shot WRN_k with k ≥ 3 and for registers).
+func (r *IndistReport) Clean() bool { return r.Passed() && len(r.Degenerate) == 0 }
+
+// CheckIndistinguishability mechanizes Lemma 38's case analysis. For every
+// reachable state S and operations a (by process P) and b (by process Q)
+// it checks that at least one process cannot distinguish the two orders:
+//
+//	P cannot distinguish if its response to a is the same whether or not b
+//	precedes it, AND the configurations (S·a vs S·b·a, or S·a·b vs S·b·a)
+//	are observationally equivalent;
+//	symmetrically for Q.
+//
+// Observational equivalence is computed by ObsClasses over the full
+// alphabet — the strongest observer — so a pass here is conservative.
+func CheckIndistinguishability(init Finite, alphabet []sim.Invocation, maxStates int) (*IndistReport, error) {
+	states, err := Reachable(init, alphabet, maxStates)
+	if err != nil {
+		return nil, err
+	}
+	class := ObsClasses(states, alphabet)
+	cls := func(s Finite) int { return class[s.StateKey()] }
+
+	rep := &IndistReport{States: len(states)}
+	keys := make([]string, 0, len(states))
+	for k := range states {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, key := range keys {
+		s := states[key]
+		for _, a := range alphabet {
+			for _, b := range alphabet {
+				rep.Pairs++
+				va := classify(s, a, b, cls)
+				vb := classify(s, b, a, cls)
+				if va == pairIndist || vb == pairIndist {
+					continue // some issuer cannot distinguish: obligation met
+				}
+				f := PairFailure{State: key, A: a, B: b}
+				if va == pairDistinguish || vb == pairDistinguish {
+					rep.Failures = append(rep.Failures, f)
+				} else {
+					rep.Degenerate = append(rep.Degenerate, f)
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+type pairVerdict int
+
+const (
+	// pairIndist: the issuer of a survives both orders with identical
+	// responses and observationally equivalent configurations.
+	pairIndist pairVerdict = iota
+	// pairDistinguish: the issuer survives both orders but can tell them
+	// apart — consensus-grade power.
+	pairDistinguish
+	// pairDegenerate: the issuer hangs in at least one order, so it can
+	// neither carry the indistinguishability argument nor act on the
+	// difference.
+	pairDegenerate
+)
+
+const hangToken = "<hang>"
+
+// classify judges how the process issuing a experiences the order of a and
+// b from state s. Indistinguishable means: same response either with b's
+// step absorbed (overwriting, S·a ≡ S·b·a) or with both steps applied
+// (commuting, S·a·b ≡ S·b·a).
+func classify(s Finite, a, b sim.Invocation, cls func(Finite) int) pairVerdict {
+	sa, outA := stepFinite(s, a)
+	sb, _ := stepFinite(s, b)
+	sba, outAafterB := stepFinite(sb, a)
+	if outA == hangToken || outAafterB == hangToken {
+		return pairDegenerate
+	}
+	if outA != outAafterB {
+		return pairDistinguish
+	}
+	if cls(sa) == cls(sba) {
+		return pairIndist // overwriting: b's step is invisible to a's issuer
+	}
+	sab, _ := stepFinite(sa, b)
+	if cls(sab) == cls(sba) {
+		return pairIndist // commuting
+	}
+	return pairDistinguish
+}
+
+// WRNAlphabet builds the operation alphabet for a WRN_k object over a
+// value domain of the given size, using distinct tagged values so that
+// writes by different "processes" are distinguishable.
+func WRNAlphabet(k, domain int) []sim.Invocation {
+	var ops []sim.Invocation
+	for i := 0; i < k; i++ {
+		for v := 0; v < domain; v++ {
+			ops = append(ops, sim.Invocation{Op: "WRN", Args: []sim.Value{i, fmt.Sprintf("v%d", v)}})
+		}
+	}
+	return ops
+}

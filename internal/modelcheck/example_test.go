@@ -1,0 +1,40 @@
+package modelcheck_test
+
+import (
+	"fmt"
+
+	"detobj/internal/modelcheck"
+	"detobj/internal/setconsensus"
+	"detobj/internal/sim"
+	"detobj/internal/wrn"
+)
+
+// ExampleExplore enumerates every execution of Algorithm 2 with three
+// processes: one WRN step each, hence 3! interleavings.
+func ExampleExplore() {
+	n, err := modelcheck.Explore(func() sim.Config {
+		objects := map[string]sim.Object{}
+		progs := setconsensus.NewAlg2(objects, "W", []sim.Value{1, 2, 3})
+		return sim.Config{Objects: objects, Programs: progs}
+	}, 0, func(modelcheck.Execution) error { return nil })
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(n)
+	// Output: 6
+}
+
+// ExampleCheckIndistinguishability mechanizes Lemma 38: WRN_3 passes
+// every obligation, WRN_2 (= SWAP) does not.
+func ExampleCheckIndistinguishability() {
+	r3, err := modelcheck.CheckIndistinguishability(wrn.New(3), modelcheck.WRNAlphabet(3, 2), 0)
+	if err != nil {
+		panic(err)
+	}
+	r2, err := modelcheck.CheckIndistinguishability(wrn.New(2), modelcheck.WRNAlphabet(2, 2), 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r3.Passed(), r2.Passed())
+	// Output: true false
+}

@@ -1,0 +1,173 @@
+// Package modelcheck verifies the paper's claims over ALL executions
+// rather than sampled ones. It provides three engines:
+//
+//   - Explore: exhaustive enumeration of every execution of a
+//     configuration — every interleaving chosen by the scheduler and, for
+//     nondeterministic objects, every internal choice. Used to verify the
+//     algorithms of §4 completely for small parameters and to exhibit the
+//     disagreement executions of broken protocols.
+//
+//   - AnalyzeValency: the FLP/Herlihy valency analysis (bivalent, univalent
+//     and critical configurations) of a protocol's execution tree (§6).
+//
+//   - CheckIndistinguishability: the mechanization of Lemma 38's
+//     critical-configuration case analysis — for every reachable object
+//     state and every pair of pending operations, at least one of the two
+//     processes must be unable to distinguish the execution orders. WRN_k
+//     with k ≥ 3 passes; SWAP (= WRN_2), test-and-set and consensus cells
+//     fail, which is exactly why they have consensus number ≥ 2.
+package modelcheck
+
+import (
+	"errors"
+	"fmt"
+
+	"detobj/internal/sim"
+)
+
+// ErrLimit is returned when exploration exceeds its execution budget.
+var ErrLimit = errors.New("modelcheck: execution limit exceeded")
+
+// Factory produces a fresh configuration (fresh objects, same programs)
+// for every replayed execution. Scheduler and Choice are overridden by the
+// explorer.
+type Factory func() sim.Config
+
+// Execution is one complete run discovered by Explore.
+type Execution struct {
+	// Schedule is the exact sequence of process ids that ran.
+	Schedule []int
+	// Choices is the sequence of values consumed by nondeterministic
+	// objects (empty for deterministic configurations).
+	Choices []int
+	// Result is the run's outcome.
+	Result *sim.Result
+}
+
+// choiceDemand is panicked by scriptSource when a nondeterministic object
+// requests a choice beyond the script; the explorer catches it via
+// sim.ObjectPanicError and branches.
+type choiceDemand struct {
+	n int
+}
+
+// scriptSource replays a fixed choice script.
+type scriptSource struct {
+	script []int
+	pos    int
+}
+
+// Intn implements sim.RandSource.
+func (s *scriptSource) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("modelcheck: Intn(%d)", n))
+	}
+	if s.pos >= len(s.script) {
+		panic(choiceDemand{n: n})
+	}
+	v := s.script[s.pos] % n
+	s.pos++
+	return v
+}
+
+// Explore enumerates every execution of the configuration: all schedules,
+// and for nondeterministic objects all internal choices. visit is called
+// once per complete execution; returning a non-nil error aborts the
+// exploration and is returned to the caller. limit bounds the number of
+// complete executions (0 means 1<<20). Explore reports the number of
+// executions visited.
+func Explore(f Factory, limit int, visit func(e Execution) error) (int, error) {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	count := 0
+	var rec func(sched, choices []int) error
+	rec = func(sched, choices []int) error {
+		res, err := runScripted(f, sched, choices)
+		if err != nil {
+			var demand choiceDemand
+			if asDemand(err, &demand) {
+				for c := 0; c < demand.n; c++ {
+					if err := rec(sched, append(choices[:len(choices):len(choices)], c)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return err
+		}
+		if len(res.Enabled) == 0 {
+			count++
+			if count > limit {
+				return fmt.Errorf("%w (%d executions)", ErrLimit, limit)
+			}
+			return visit(Execution{
+				Schedule: append([]int(nil), sched...),
+				Choices:  append([]int(nil), choices...),
+				Result:   res,
+			})
+		}
+		for _, id := range res.Enabled {
+			if err := rec(append(sched[:len(sched):len(sched)], id), choices); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(nil, nil); err != nil {
+		return count, err
+	}
+	return count, nil
+}
+
+// runScripted replays the configuration under a fixed schedule and choice
+// script, stopping when the schedule is exhausted.
+func runScripted(f Factory, sched, choices []int) (*sim.Result, error) {
+	cfg := f()
+	cfg.Scheduler = &sim.Fixed{Order: sched}
+	cfg.Choice = &scriptSource{script: choices}
+	return sim.Run(cfg)
+}
+
+// asDemand reports whether err is an object panic carrying a choiceDemand.
+func asDemand(err error, out *choiceDemand) bool {
+	var ope *sim.ObjectPanicError
+	if !errors.As(err, &ope) {
+		return false
+	}
+	d, ok := ope.Value.(choiceDemand)
+	if !ok {
+		return false
+	}
+	*out = d
+	return true
+}
+
+// VerifyAll explores every execution and checks each complete result with
+// check; it returns the number of executions and the first violation.
+func VerifyAll(f Factory, limit int, check func(res *sim.Result) error) (int, error) {
+	return Explore(f, limit, func(e Execution) error {
+		if err := check(e.Result); err != nil {
+			return fmt.Errorf("schedule %v choices %v: %w", e.Schedule, e.Choices, err)
+		}
+		return nil
+	})
+}
+
+// DecisionVectors explores every execution and returns the set of distinct
+// decided-output vectors, rendered as strings, mapped to a sample
+// execution schedule.
+func DecisionVectors(f Factory, limit int) (map[string][]int, error) {
+	out := make(map[string][]int)
+	_, err := Explore(f, limit, func(e Execution) error {
+		key := fmt.Sprint(e.Result.Outputs)
+		if _, ok := out[key]; !ok {
+			out[key] = e.Schedule
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package modelcheck
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"detobj/internal/registers"
+	"detobj/internal/sim"
+)
+
+// counterFactory builds procs processes that each increment a shared
+// counter `steps` times and return its final reading.
+func counterFactory(procs, steps int) Factory {
+	return func() sim.Config {
+		objects := map[string]sim.Object{"C": registers.NewCounter()}
+		c := registers.CounterRef{Name: "C"}
+		programs := make([]sim.Program, procs)
+		for i := range programs {
+			programs[i] = func(ctx *sim.Ctx) sim.Value {
+				for s := 0; s < steps; s++ {
+					c.Inc(ctx)
+				}
+				return c.Read(ctx)
+			}
+		}
+		return sim.Config{Objects: objects, Programs: programs}
+	}
+}
+
+func TestExploreCountsInterleavings(t *testing.T) {
+	// Two processes with 2 steps each (1 inc + 1 read): C(4,2) = 6.
+	n, err := Explore(counterFactory(2, 1), 0, func(Execution) error { return nil })
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if n != 6 {
+		t.Errorf("executions = %d, want 6", n)
+	}
+}
+
+func TestExploreSingleProcess(t *testing.T) {
+	n, err := Explore(counterFactory(1, 3), 0, func(e Execution) error {
+		if e.Result.Outputs[0] != 3 {
+			return fmt.Errorf("output %v", e.Result.Outputs[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("executions = %d, want 1", n)
+	}
+}
+
+func TestExploreLimit(t *testing.T) {
+	_, err := Explore(counterFactory(3, 2), 5, func(Execution) error { return nil })
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("err = %v, want ErrLimit", err)
+	}
+}
+
+func TestVerifyAllReportsSchedule(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := VerifyAll(counterFactory(2, 1), 0, func(res *sim.Result) error {
+		if res.Outputs[0] == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+// coin draws one nondeterministic bit per flip.
+type coin struct{}
+
+func (coin) Apply(env *sim.Env, inv sim.Invocation) sim.Response {
+	return sim.Respond(env.Rand.Intn(2))
+}
+
+func coinFactory(procs, flips int) Factory {
+	return func() sim.Config {
+		programs := make([]sim.Program, procs)
+		for i := range programs {
+			programs[i] = func(ctx *sim.Ctx) sim.Value {
+				total := 0
+				for f := 0; f < flips; f++ {
+					total = total*2 + ctx.Invoke("coin", "flip").(int)
+				}
+				return total
+			}
+		}
+		return sim.Config{
+			Objects:  map[string]sim.Object{"coin": coin{}},
+			Programs: programs,
+		}
+	}
+}
+
+// TestExploreEnumeratesChoices: one process, two flips → 4 executions, one
+// per choice script, covering all outputs 0..3.
+func TestExploreEnumeratesChoices(t *testing.T) {
+	seen := map[sim.Value]bool{}
+	n, err := Explore(coinFactory(1, 2), 0, func(e Execution) error {
+		seen[e.Result.Outputs[0]] = true
+		if len(e.Choices) != 2 {
+			return fmt.Errorf("choices = %v", e.Choices)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if n != 4 {
+		t.Errorf("executions = %d, want 4", n)
+	}
+	for v := 0; v < 4; v++ {
+		if !seen[v] {
+			t.Errorf("output %d never produced", v)
+		}
+	}
+}
+
+// TestExploreSchedulesTimesChoices: two single-flip processes → 2
+// schedules × 4 choice combinations = 8 executions.
+func TestExploreSchedulesTimesChoices(t *testing.T) {
+	n, err := Explore(coinFactory(2, 1), 0, func(Execution) error { return nil })
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if n != 8 {
+		t.Errorf("executions = %d, want 8", n)
+	}
+}
+
+func TestDecisionVectors(t *testing.T) {
+	vecs, err := DecisionVectors(counterFactory(2, 1), 0)
+	if err != nil {
+		t.Fatalf("DecisionVectors: %v", err)
+	}
+	// Possible output vectors: [1 2], [2 1], [2 2] — readers see 1 or 2.
+	if len(vecs) != 3 {
+		t.Errorf("distinct vectors = %d (%v), want 3", len(vecs), vecs)
+	}
+}
+
+func TestScriptSourceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	(&scriptSource{}).Intn(0)
+}

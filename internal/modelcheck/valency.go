@@ -1,0 +1,108 @@
+package modelcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"detobj/internal/sim"
+)
+
+// ValencyReport summarizes the valency analysis of a protocol's execution
+// tree, in the sense of FLP and Herlihy (§6): a configuration's valency is
+// the set of decision values reachable from it.
+type ValencyReport struct {
+	// Configs is the number of configurations (schedule prefixes) explored.
+	Configs int
+	// Executions is the number of complete executions.
+	Executions int
+	// Bivalent is the number of configurations from which more than one
+	// decision value is reachable.
+	Bivalent int
+	// Critical is the number of critical configurations: bivalent
+	// configurations all of whose successors are univalent.
+	Critical int
+	// Agreement is true when every single execution is internally
+	// consistent (all deciders in that execution decide the same value).
+	Agreement bool
+	// Values is the sorted set of decision values over all executions.
+	Values []string
+	// DisagreementSchedule, when Agreement is false, is a schedule whose
+	// execution contains two different decisions.
+	DisagreementSchedule []int
+}
+
+// AnalyzeValency explores the full execution tree of a consensus-style
+// protocol and reports its valency structure. Decision values are the
+// outputs of processes with StatusDone. limit bounds complete executions.
+func AnalyzeValency(f Factory, limit int) (*ValencyReport, error) {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	rep := &ValencyReport{Agreement: true}
+	values := make(map[string]bool)
+
+	// valency returns the set of decision values reachable from the
+	// configuration reached by sched.
+	var valency func(sched []int) (map[string]bool, error)
+	valency = func(sched []int) (map[string]bool, error) {
+		res, err := runScripted(f, sched, nil)
+		if err != nil {
+			var demand choiceDemand
+			if asDemand(err, &demand) {
+				return nil, fmt.Errorf("modelcheck: valency analysis requires deterministic objects: %w", err)
+			}
+			return nil, err
+		}
+		rep.Configs++
+		if len(res.Enabled) == 0 {
+			rep.Executions++
+			if rep.Executions > limit {
+				return nil, fmt.Errorf("%w (%d executions)", ErrLimit, limit)
+			}
+			vals := make(map[string]bool)
+			for i, st := range res.Status {
+				if st == sim.StatusDone {
+					vals[fmt.Sprint(res.Outputs[i])] = true
+				}
+			}
+			if len(vals) > 1 && rep.Agreement {
+				rep.Agreement = false
+				rep.DisagreementSchedule = append([]int(nil), sched...)
+			}
+			for v := range vals {
+				values[v] = true
+			}
+			return vals, nil
+		}
+		union := make(map[string]bool)
+		allChildrenUnivalent := true
+		for _, id := range res.Enabled {
+			child, err := valency(append(sched[:len(sched):len(sched)], id))
+			if err != nil {
+				return nil, err
+			}
+			if len(child) > 1 {
+				allChildrenUnivalent = false
+			}
+			for v := range child {
+				union[v] = true
+			}
+		}
+		if len(union) > 1 {
+			rep.Bivalent++
+			if allChildrenUnivalent {
+				rep.Critical++
+			}
+		}
+		return union, nil
+	}
+
+	if _, err := valency(nil); err != nil {
+		return nil, err
+	}
+	for v := range values {
+		rep.Values = append(rep.Values, v)
+	}
+	sort.Strings(rep.Values)
+	return rep, nil
+}

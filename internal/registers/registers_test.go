@@ -1,0 +1,211 @@
+package registers
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"detobj/internal/sim"
+)
+
+func runOne(t *testing.T, objects map[string]sim.Object, progs ...sim.Program) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(sim.Config{Objects: objects, Programs: progs})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestRegisterReadWrite(t *testing.T) {
+	objects := map[string]sim.Object{"R": New(nil)}
+	r := Ref{Name: "R"}
+	res := runOne(t, objects, func(ctx *sim.Ctx) sim.Value {
+		if got := r.Read(ctx); got != nil {
+			t.Errorf("initial read = %v, want nil", got)
+		}
+		r.Write(ctx, 42)
+		return r.Read(ctx)
+	})
+	if res.Outputs[0] != 42 {
+		t.Errorf("final read = %v, want 42", res.Outputs[0])
+	}
+}
+
+func TestRegisterLastWriteWins(t *testing.T) {
+	objects := map[string]sim.Object{"R": New(0)}
+	r := Ref{Name: "R"}
+	writer := func(v int) sim.Program {
+		return func(ctx *sim.Ctx) sim.Value {
+			r.Write(ctx, v)
+			return nil
+		}
+	}
+	reader := func(ctx *sim.Ctx) sim.Value { return r.Read(ctx) }
+	res, err := sim.Run(sim.Config{
+		Objects:   objects,
+		Programs:  []sim.Program{writer(1), writer(2), reader},
+		Scheduler: sim.NewFixed(0, 1, 2),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Outputs[2] != 2 {
+		t.Errorf("reader saw %v, want 2 (the last write)", res.Outputs[2])
+	}
+}
+
+func TestRegisterSWMREnforced(t *testing.T) {
+	objects := map[string]sim.Object{"R": NewSWMR(nil, 1)}
+	r := Ref{Name: "R"}
+	// Process 0 writes a register owned by process 1: must fail the run.
+	_, err := sim.Run(sim.Config{
+		Objects:  objects,
+		Programs: []sim.Program{func(ctx *sim.Ctx) sim.Value { r.Write(ctx, 1); return nil }},
+	})
+	if !errors.Is(err, sim.ErrObjectPanic) {
+		t.Errorf("err = %v, want ErrObjectPanic", err)
+	}
+}
+
+func TestRegisterSWMROwnerMayWrite(t *testing.T) {
+	objects := map[string]sim.Object{"R": NewSWMR(nil, 0)}
+	r := Ref{Name: "R"}
+	res := runOne(t, objects, func(ctx *sim.Ctx) sim.Value {
+		r.Write(ctx, "x")
+		return r.Read(ctx)
+	})
+	if res.Outputs[0] != "x" {
+		t.Errorf("read = %v, want x", res.Outputs[0])
+	}
+}
+
+func TestRegisterUnknownOpPanics(t *testing.T) {
+	objects := map[string]sim.Object{"R": New(nil)}
+	_, err := sim.Run(sim.Config{
+		Objects:  objects,
+		Programs: []sim.Program{func(ctx *sim.Ctx) sim.Value { return ctx.Invoke("R", "cas", 1, 2) }},
+	})
+	if !errors.Is(err, sim.ErrObjectPanic) {
+		t.Errorf("err = %v, want ErrObjectPanic", err)
+	}
+	var ope *sim.ObjectPanicError
+	if !errors.As(err, &ope) || ope.Object != "R" || ope.Op != "cas" {
+		t.Errorf("ObjectPanicError not populated: %+v", ope)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	objects := map[string]sim.Object{"A": NewCounter()}
+	c := CounterRef{Name: "A"}
+	res := runOne(t, objects, func(ctx *sim.Ctx) sim.Value {
+		if got := c.Read(ctx); got != 0 {
+			t.Errorf("initial counter = %d, want 0", got)
+		}
+		c.Inc(ctx)
+		c.Inc(ctx)
+		return c.Read(ctx)
+	})
+	if res.Outputs[0] != 2 {
+		t.Errorf("counter = %v, want 2", res.Outputs[0])
+	}
+}
+
+func TestCounterUnknownOpPanics(t *testing.T) {
+	objects := map[string]sim.Object{"A": NewCounter()}
+	_, err := sim.Run(sim.Config{
+		Objects:  objects,
+		Programs: []sim.Program{func(ctx *sim.Ctx) sim.Value { return ctx.Invoke("A", "dec") }},
+	})
+	if !errors.Is(err, sim.ErrObjectPanic) {
+		t.Errorf("err = %v, want ErrObjectPanic", err)
+	}
+}
+
+func TestDoorway(t *testing.T) {
+	objects := map[string]sim.Object{"D": NewDoorway()}
+	d := DoorwayRef{Name: "D"}
+	res := runOne(t, objects, func(ctx *sim.Ctx) sim.Value {
+		if !d.IsOpen(ctx) {
+			t.Error("doorway not initially open")
+		}
+		d.Close(ctx)
+		return d.IsOpen(ctx)
+	})
+	if res.Outputs[0] != false {
+		t.Error("doorway still open after Close")
+	}
+}
+
+func TestAddRegisterArray(t *testing.T) {
+	objects := map[string]sim.Object{}
+	refs := AddRegisterArray(objects, "R", 3, "init")
+	if len(refs) != 3 {
+		t.Fatalf("got %d refs, want 3", len(refs))
+	}
+	if refs[2].Name != "R[2]" {
+		t.Errorf("refs[2].Name = %q, want R[2]", refs[2].Name)
+	}
+	if len(objects) != 3 {
+		t.Errorf("registered %d objects, want 3", len(objects))
+	}
+	res := runOne(t, objects, func(ctx *sim.Ctx) sim.Value {
+		refs[1].Write(ctx, 7)
+		return []sim.Value{refs[0].Read(ctx), refs[1].Read(ctx)}
+	})
+	got := res.Outputs[0].([]sim.Value)
+	if got[0] != "init" || got[1] != 7 {
+		t.Errorf("reads = %v, want [init 7]", got)
+	}
+}
+
+func TestAddSWMRArray(t *testing.T) {
+	objects := map[string]sim.Object{}
+	refs := AddSWMRArray(objects, "S", 2, nil, func(i int) int { return i })
+	res := runOne(t, objects,
+		func(ctx *sim.Ctx) sim.Value { refs[0].Write(ctx, "a"); return nil },
+		func(ctx *sim.Ctx) sim.Value { refs[1].Write(ctx, "b"); return refs[0].Read(ctx) },
+	)
+	if res.Status[0] != sim.StatusDone || res.Status[1] != sim.StatusDone {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestAddCounterArray(t *testing.T) {
+	objects := map[string]sim.Object{}
+	refs := AddCounterArray(objects, "A", 2)
+	res := runOne(t, objects, func(ctx *sim.Ctx) sim.Value {
+		refs[0].Inc(ctx)
+		return refs[0].Read(ctx) + refs[1].Read(ctx)
+	})
+	if res.Outputs[0] != 1 {
+		t.Errorf("sum = %v, want 1", res.Outputs[0])
+	}
+}
+
+// TestQuickRegisterSequential checks, across random write sequences, that a
+// register always returns the most recent write in a sequential run.
+func TestQuickRegisterSequential(t *testing.T) {
+	f := func(vals []int) bool {
+		objects := map[string]sim.Object{"R": New(-1)}
+		r := Ref{Name: "R"}
+		res, err := sim.Run(sim.Config{
+			Objects: objects,
+			Programs: []sim.Program{func(ctx *sim.Ctx) sim.Value {
+				last := -1
+				for _, v := range vals {
+					r.Write(ctx, v)
+					last = v
+					if got := r.Read(ctx); got != last {
+						return false
+					}
+				}
+				return true
+			}},
+		})
+		return err == nil && res.Outputs[0] == true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

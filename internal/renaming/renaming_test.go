@@ -1,0 +1,208 @@
+package renaming
+
+import (
+	"testing"
+	"testing/quick"
+
+	"detobj/internal/sim"
+	"detobj/internal/tasks"
+)
+
+// runRenaming runs one renaming instance with the given original ids and
+// scheduler seed, returning new names indexed by position in ids.
+func runRenaming(t *testing.T, m int, ids []int, seed int64) []int {
+	t.Helper()
+	objects := map[string]sim.Object{}
+	p := New(objects, "REN", m)
+	progs := make([]sim.Program, len(ids))
+	for i, id := range ids {
+		progs[i] = p.Program(id)
+	}
+	res, err := sim.Run(sim.Config{
+		Objects:   objects,
+		Programs:  progs,
+		Scheduler: sim.NewRandom(seed),
+		MaxSteps:  1 << 18,
+	})
+	if err != nil {
+		t.Fatalf("Run(ids=%v, seed=%d): %v", ids, seed, err)
+	}
+	if !res.AllDone() {
+		t.Fatalf("ids=%v seed=%d: not wait-free, status %v", ids, seed, res.Status)
+	}
+	names := make([]int, len(ids))
+	for i := range ids {
+		names[i] = res.Outputs[i].(int)
+	}
+	return names
+}
+
+func checkNames(t *testing.T, ids, names []int, seed int64) {
+	t.Helper()
+	k := len(ids)
+	inputs := map[int]sim.Value{}
+	outputs := map[int]sim.Value{}
+	for i := range ids {
+		inputs[i] = ids[i]
+		outputs[i] = names[i]
+	}
+	task := tasks.Renaming{Names: 2*k - 1}
+	if err := task.Check(tasks.Outcome{Inputs: inputs, Outputs: outputs}); err != nil {
+		t.Errorf("seed %d ids %v names %v: %v", seed, ids, names, err)
+	}
+}
+
+func TestSoloGetsSmallestName(t *testing.T) {
+	names := runRenaming(t, 16, []int{13}, 0)
+	if names[0] != 0 {
+		t.Errorf("solo participant got %d, want 0", names[0])
+	}
+}
+
+func TestTwoParticipantsAllSeeds(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		ids := []int{9, 4}
+		names := runRenaming(t, 16, ids, seed)
+		checkNames(t, ids, names, seed)
+	}
+}
+
+func TestManyParticipants(t *testing.T) {
+	cases := [][]int{
+		{0, 1, 2},
+		{31, 7, 19, 2},
+		{5, 6, 7, 8, 9},
+		{63, 0, 32, 16, 48, 8},
+	}
+	for _, ids := range cases {
+		for seed := int64(0); seed < 10; seed++ {
+			names := runRenaming(t, 64, ids, seed)
+			checkNames(t, ids, names, seed)
+		}
+	}
+}
+
+// TestQuickRenamingProperty: random participant sets and schedules always
+// produce distinct names within 0..2k−2 (the E12 substrate property).
+func TestQuickRenamingProperty(t *testing.T) {
+	f := func(raw []uint8, seed int64) bool {
+		const m = 32
+		seen := map[int]bool{}
+		var ids []int
+		for _, r := range raw {
+			id := int(r) % m
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+			if len(ids) == 5 {
+				break
+			}
+		}
+		if len(ids) == 0 {
+			return true
+		}
+		objects := map[string]sim.Object{}
+		p := New(objects, "REN", m)
+		progs := make([]sim.Program, len(ids))
+		for i, id := range ids {
+			progs[i] = p.Program(id)
+		}
+		res, err := sim.Run(sim.Config{
+			Objects:   objects,
+			Programs:  progs,
+			Scheduler: sim.NewRandom(seed),
+			MaxSteps:  1 << 18,
+		})
+		if err != nil || !res.AllDone() {
+			return false
+		}
+		k := len(ids)
+		names := map[int]bool{}
+		for i := range ids {
+			name := res.Outputs[i].(int)
+			if name < 0 || name >= 2*k-1 || names[name] {
+				return false
+			}
+			names[name] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContendedAdversarialPriority(t *testing.T) {
+	// A priority adversary that always favours the largest id exercises
+	// the re-proposal path heavily.
+	ids := []int{3, 2, 1, 0}
+	objects := map[string]sim.Object{}
+	p := New(objects, "REN", 8)
+	progs := make([]sim.Program, len(ids))
+	for i, id := range ids {
+		progs[i] = p.Program(id)
+	}
+	res, err := sim.Run(sim.Config{
+		Objects:   objects,
+		Programs:  progs,
+		Scheduler: sim.Priority{3, 2, 1, 0},
+		MaxSteps:  1 << 18,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	names := make([]int, len(ids))
+	for i := range ids {
+		names[i] = res.Outputs[i].(int)
+	}
+	checkNames(t, ids, names, -1)
+}
+
+func TestNthFree(t *testing.T) {
+	taken := map[int]bool{1: true, 3: true}
+	cases := []struct{ r, want int }{{1, 2}, {2, 4}, {3, 5}}
+	for _, c := range cases {
+		if got := nthFree(taken, c.r); got != c.want {
+			t.Errorf("nthFree(%d) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestM(t *testing.T) {
+	objects := map[string]sim.Object{}
+	if got := New(objects, "REN", 7).M(); got != 7 {
+		t.Errorf("M = %d", got)
+	}
+}
+
+// TestRenamingFromRegisters: the fully register-backed protocol (AADGMS
+// snapshots underneath) still produces distinct names in 0..2k−2.
+func TestRenamingFromRegisters(t *testing.T) {
+	ids := []int{11, 3, 27}
+	for seed := int64(0); seed < 25; seed++ {
+		objects := map[string]sim.Object{}
+		p := NewFromRegisters(objects, "REN", 32)
+		progs := make([]sim.Program, len(ids))
+		for i, id := range ids {
+			progs[i] = p.Program(id)
+		}
+		res, err := sim.Run(sim.Config{
+			Objects:   objects,
+			Programs:  progs,
+			Scheduler: sim.NewRandom(seed),
+			MaxSteps:  1 << 20,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.AllDone() {
+			t.Fatalf("seed %d: %v", seed, res.Status)
+		}
+		names := make([]int, len(ids))
+		for i := range ids {
+			names[i] = res.Outputs[i].(int)
+		}
+		checkNames(t, ids, names, seed)
+	}
+}

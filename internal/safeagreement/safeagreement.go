@@ -1,0 +1,129 @@
+// Package safeagreement implements the safe-agreement protocol of
+// Borowsky and Gafni from atomic snapshots — the building block of the BG
+// simulation, which the paper relies on for the equivalence of k-set
+// election and k-strong set election [9] and for the set-consensus
+// characterization (Theorem 41).
+//
+// Safe agreement is consensus with a weaker liveness guarantee: validity
+// and agreement always hold, and the protocol is wait-free except inside a
+// small "unsafe window" (between a proposer's two writes). A process that
+// crashes inside its window can block resolution forever; a process that
+// crashes anywhere else blocks nobody. The BG simulation turns this into
+// t-resilience: t crashed simulators block at most t simulated processes.
+//
+// The protocol (one instance, up to n proposers with slots 0..n−1):
+//
+//	Propose(i, v):  A[i] ← (v, level 1)
+//	                view ← snapshot(A)
+//	                if some slot in view has level 2:  A[i] ← (v, level 0)
+//	                else:                              A[i] ← (v, level 2)
+//
+//	Resolve():      view ← snapshot(A)
+//	                if some slot has level 1: unresolved (retry later)
+//	                else: the value of the smallest-index level-2 slot
+//
+// Once any Resolve succeeds, the level-2 set is final, so all successful
+// Resolves return the same value.
+package safeagreement
+
+import (
+	"fmt"
+
+	"detobj/internal/sim"
+	"detobj/internal/snapshot"
+)
+
+// Levels of a proposal slot.
+const (
+	levelBackedOff = 0
+	levelUnsafe    = 1
+	levelCommitted = 2
+)
+
+// slot is the content of one proposal cell.
+type slot struct {
+	Val   sim.Value
+	Level int
+}
+
+// Instance is one safe-agreement instance for up to n proposers.
+type Instance struct {
+	n    int
+	snap snapshot.Snapshotter
+}
+
+// New registers a fresh instance under name for n proposer slots.
+func New(objects map[string]sim.Object, name string, n int) Instance {
+	if n < 1 {
+		panic(fmt.Sprintf("safeagreement: n = %d", n))
+	}
+	return Instance{n: n, snap: snapshot.NewObjectHandle(objects, name, n, nil)}
+}
+
+// N returns the number of proposer slots.
+func (s Instance) N() int { return s.n }
+
+// Propose submits v on slot i. Each slot proposes at most once. The
+// caller is inside the unsafe window between the first and second write;
+// crashing there may block Resolve forever.
+func (s Instance) Propose(ctx *sim.Ctx, i int, v sim.Value) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("safeagreement: slot %d outside [0,%d)", i, s.n))
+	}
+	if v == nil {
+		panic("safeagreement: propose of nil value")
+	}
+	s.snap.Update(ctx, i, slot{Val: v, Level: levelUnsafe})
+	view := s.snap.Scan(ctx)
+	level := levelCommitted
+	for j, raw := range view {
+		if j == i || raw == nil {
+			continue
+		}
+		if raw.(slot).Level == levelCommitted {
+			level = levelBackedOff
+			break
+		}
+	}
+	s.snap.Update(ctx, i, slot{Val: v, Level: level})
+}
+
+// Resolve attempts to read the agreed value. It returns (value, true) when
+// the instance has resolved, and (nil, false) while some proposer is still
+// inside its unsafe window. Callers retry; in the BG simulation they move
+// to another simulated process instead of spinning.
+func (s Instance) Resolve(ctx *sim.Ctx) (sim.Value, bool) {
+	view := s.snap.Scan(ctx)
+	decided := sim.Value(nil)
+	found := false
+	for _, raw := range view {
+		if raw == nil {
+			continue
+		}
+		sl := raw.(slot)
+		switch sl.Level {
+		case levelUnsafe:
+			return nil, false
+		case levelCommitted:
+			if !found {
+				decided = sl.Val
+				found = true
+			}
+		}
+	}
+	if !found {
+		return nil, false // nobody committed yet (or nobody proposed)
+	}
+	return decided, true
+}
+
+// ResolveBlocking retries Resolve until it succeeds. It is NOT wait-free:
+// use only where the unsafe window is guaranteed to clear (e.g. tests with
+// no crashes).
+func (s Instance) ResolveBlocking(ctx *sim.Ctx) sim.Value {
+	for {
+		if v, ok := s.Resolve(ctx); ok {
+			return v
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package safeagreement
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"detobj/internal/sim"
+)
+
+// runAgreement runs n proposers (values 100+i) and n resolvers; returns
+// proposer count of distinct resolved values and the resolved values.
+func runAgreement(t *testing.T, n int, seed int64, crashed ...int) *sim.Result {
+	t.Helper()
+	objects := map[string]sim.Object{}
+	sa := New(objects, "SA", n)
+	progs := make([]sim.Program, 0, 2*n)
+	for i := 0; i < n; i++ {
+		i := i
+		progs = append(progs, func(ctx *sim.Ctx) sim.Value {
+			sa.Propose(ctx, i, 100+i)
+			return sa.ResolveBlocking(ctx)
+		})
+	}
+	res, err := sim.Run(sim.Config{
+		Objects:   objects,
+		Programs:  progs,
+		Scheduler: sim.NewCrashing(sim.NewRandom(seed), crashed...),
+		MaxSteps:  1 << 16,
+	})
+	if err != nil {
+		t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+	}
+	return res
+}
+
+// TestAgreementAndValidity: with no crashes, everyone resolves to the same
+// proposed value.
+func TestAgreementAndValidity(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		for seed := int64(0); seed < 50; seed++ {
+			res := runAgreement(t, n, seed)
+			if !res.AllDone() {
+				t.Fatalf("n=%d seed=%d: not all resolved: %v", n, seed, res.Status)
+			}
+			first := res.Outputs[0]
+			valid := false
+			for i := 0; i < n; i++ {
+				if res.Outputs[i] != first {
+					t.Fatalf("n=%d seed=%d: disagreement %v", n, seed, res.Outputs)
+				}
+				if first == 100+i {
+					valid = true
+				}
+			}
+			if !valid {
+				t.Fatalf("n=%d seed=%d: resolved %v, not a proposal", n, seed, first)
+			}
+		}
+	}
+}
+
+// TestCrashOutsideWindowHarmless: a proposer that never starts does not
+// block resolution by others.
+func TestCrashOutsideWindowHarmless(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		res := runAgreement(t, 3, seed, 2) // process 2 crashed before any step
+		for i := 0; i < 2; i++ {
+			if res.Status[i] != sim.StatusDone {
+				t.Fatalf("seed=%d: live process %d blocked: %v", seed, i, res.Status[i])
+			}
+		}
+		if res.Outputs[0] != res.Outputs[1] {
+			t.Fatalf("seed=%d: disagreement", seed)
+		}
+	}
+}
+
+// TestCrashInsideWindowBlocks: a proposer stopped between its two writes
+// leaves the instance unresolved — the inherent unsafe window.
+func TestCrashInsideWindowBlocks(t *testing.T) {
+	objects := map[string]sim.Object{}
+	sa := New(objects, "SA", 2)
+	probe := func(ctx *sim.Ctx) sim.Value {
+		sa.Propose(ctx, 0, "mine")
+		// Try to resolve a bounded number of times; report the verdicts.
+		for try := 0; try < 50; try++ {
+			if v, ok := sa.Resolve(ctx); ok {
+				return v
+			}
+		}
+		return "unresolved"
+	}
+	window := func(ctx *sim.Ctx) sim.Value {
+		sa.Propose(ctx, 1, "theirs")
+		return nil
+	}
+	// Let process 1 take exactly its first write plus the scan's first
+	// step, then crash; process 0 runs solo afterwards.
+	res, err := sim.Run(sim.Config{
+		Objects:   objects,
+		Programs:  []sim.Program{probe, window},
+		Scheduler: &sim.Fixed{Order: []int{1}, Fallback: sim.NewCrashing(nil, 1)},
+		MaxSteps:  1 << 16,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Outputs[0] != "unresolved" {
+		t.Fatalf("probe returned %v; a crash inside the window must block", res.Outputs[0])
+	}
+}
+
+// TestResolveBeforeAnyProposal: resolution is unavailable before any
+// proposer commits.
+func TestResolveBeforeAnyProposal(t *testing.T) {
+	objects := map[string]sim.Object{}
+	sa := New(objects, "SA", 2)
+	res, err := sim.Run(sim.Config{
+		Objects: objects,
+		Programs: []sim.Program{func(ctx *sim.Ctx) sim.Value {
+			_, ok := sa.Resolve(ctx)
+			return ok
+		}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Outputs[0] != false {
+		t.Fatal("resolved an empty instance")
+	}
+}
+
+// TestFirstSoloProposerWinsItself: a proposer running alone commits and
+// resolves its own value.
+func TestFirstSoloProposerWinsItself(t *testing.T) {
+	objects := map[string]sim.Object{}
+	sa := New(objects, "SA", 3)
+	res, err := sim.Run(sim.Config{
+		Objects: objects,
+		Programs: []sim.Program{func(ctx *sim.Ctx) sim.Value {
+			sa.Propose(ctx, 1, "solo")
+			return sa.ResolveBlocking(ctx)
+		}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Outputs[0] != "solo" {
+		t.Fatalf("resolved %v", res.Outputs[0])
+	}
+}
+
+// TestLateProposerAdoptsEarlierDecision: a proposer arriving after a
+// resolution backs off and resolves the established value.
+func TestLateProposerAdoptsEarlierDecision(t *testing.T) {
+	objects := map[string]sim.Object{}
+	sa := New(objects, "SA", 2)
+	early := func(ctx *sim.Ctx) sim.Value {
+		sa.Propose(ctx, 0, "early")
+		return sa.ResolveBlocking(ctx)
+	}
+	late := func(ctx *sim.Ctx) sim.Value {
+		sa.Propose(ctx, 1, "late")
+		return sa.ResolveBlocking(ctx)
+	}
+	res, err := sim.Run(sim.Config{
+		Objects:   objects,
+		Programs:  []sim.Program{early, late},
+		Scheduler: sim.Priority{0, 1}, // early runs fully first
+		MaxSteps:  1 << 16,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Outputs[0] != "early" || res.Outputs[1] != "early" {
+		t.Fatalf("outputs %v, want both early", res.Outputs)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	objects := map[string]sim.Object{}
+	sa := New(objects, "SA", 2)
+	cases := []struct {
+		name string
+		prog sim.Program
+	}{
+		{"bad slot", func(ctx *sim.Ctx) sim.Value { sa.Propose(ctx, 5, "v"); return nil }},
+		{"nil value", func(ctx *sim.Ctx) sim.Value { sa.Propose(ctx, 0, nil); return nil }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			_, err := sim.Run(sim.Config{Objects: objects, Programs: []sim.Program{c.prog}})
+			if !errors.Is(err, sim.ErrProgramPanic) {
+				t.Errorf("err = %v, want ErrProgramPanic", err)
+			}
+		})
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("New(_, _, 0) did not panic")
+			}
+		}()
+		New(objects, "bad", 0)
+	}()
+	if sa.N() != 2 {
+		t.Errorf("N = %d", sa.N())
+	}
+}
+
+// TestQuickAgreement: random proposer counts, crash subsets (crashed
+// before starting) and schedules preserve agreement and validity among
+// resolvers.
+func TestQuickAgreement(t *testing.T) {
+	f := func(rawN uint8, rawCrash uint8, seed int64) bool {
+		n := int(rawN%4) + 2
+		crash := int(rawCrash) % n
+		objects := map[string]sim.Object{}
+		sa := New(objects, "SA", n)
+		progs := make([]sim.Program, n)
+		for i := 0; i < n; i++ {
+			i := i
+			progs[i] = func(ctx *sim.Ctx) sim.Value {
+				sa.Propose(ctx, i, 100+i)
+				return sa.ResolveBlocking(ctx)
+			}
+		}
+		res, err := sim.Run(sim.Config{
+			Objects:   objects,
+			Programs:  progs,
+			Scheduler: sim.NewCrashing(sim.NewRandom(seed), crash),
+			MaxSteps:  1 << 16,
+		})
+		if err != nil {
+			return false
+		}
+		var got sim.Value
+		for i := 0; i < n; i++ {
+			if i == crash || res.Status[i] != sim.StatusDone {
+				continue
+			}
+			if got == nil {
+				got = res.Outputs[i]
+			} else if got != res.Outputs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

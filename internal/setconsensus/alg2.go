@@ -1,0 +1,39 @@
+package setconsensus
+
+import (
+	"detobj/internal/sim"
+	"detobj/internal/wrn"
+)
+
+// Alg2Propose is Algorithm 2: process P_i of {P_0..P_{k−1}} solves
+// (k−1)-set consensus for k processes with a single WRN_k (or, since each
+// index is used once, 1sWRN_k) object. P_i writes its proposal at index i
+// and decides what it reads from index (i+1) mod k, falling back to its
+// own proposal on ⊥.
+func Alg2Propose(ctx *sim.Ctx, w wrn.Ref, i int, v sim.Value) sim.Value {
+	if t := w.WRN(ctx, i, v); !wrn.IsBottom(t) {
+		return t
+	}
+	return v
+}
+
+// Alg2Program wraps Alg2Propose as a process program.
+func Alg2Program(w wrn.Ref, i int, v sim.Value) sim.Program {
+	return func(ctx *sim.Ctx) sim.Value {
+		return Alg2Propose(ctx, w, i, v)
+	}
+}
+
+// NewAlg2 registers a fresh 1sWRN_k object under name and returns programs
+// for the k processes with proposals vs. It is the complete (k−1)-set
+// consensus protocol of §4.1.
+func NewAlg2(objects map[string]sim.Object, name string, vs []sim.Value) []sim.Program {
+	k := len(vs)
+	objects[name] = wrn.NewOneShot(k)
+	w := wrn.Ref{Name: name}
+	progs := make([]sim.Program, k)
+	for i, v := range vs {
+		progs[i] = Alg2Program(w, i, v)
+	}
+	return progs
+}

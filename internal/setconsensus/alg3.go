@@ -1,0 +1,189 @@
+package setconsensus
+
+import (
+	"fmt"
+
+	"detobj/internal/renaming"
+	"detobj/internal/sim"
+	"detobj/internal/wrn"
+)
+
+// IndexFamily is an ordered family of index mappings f_ℓ : {0..2k−2} →
+// {0..k−1}, the F of Algorithm 3. Correctness requires only the covering
+// property: for every k-subset R of {0..2k−2} some member maps R onto
+// {0..k−1}.
+type IndexFamily struct {
+	k     int
+	funcs [][]int
+}
+
+// Len returns the number of mappings.
+func (f IndexFamily) Len() int { return len(f.funcs) }
+
+// K returns the range size k.
+func (f IndexFamily) K() int { return f.k }
+
+// At returns f_ℓ(j).
+func (f IndexFamily) At(l, j int) int { return f.funcs[l][j] }
+
+// Covers reports whether mapping ℓ sends the name set R onto {0..k−1}.
+func (f IndexFamily) Covers(l int, r []int) bool {
+	seen := make([]bool, f.k)
+	for _, j := range r {
+		seen[f.funcs[l][j]] = true
+	}
+	for _, s := range seen {
+		if !s {
+			return false
+		}
+	}
+	return true
+}
+
+// CoversAll reports the covering property over every k-subset of
+// {0..2k−2}: the existence guarantee Claim 16 relies on.
+func (f IndexFamily) CoversAll() bool {
+	ok := true
+	forEachSubset(2*f.k-1, f.k, func(r []int) {
+		found := false
+		for l := 0; l < len(f.funcs) && !found; l++ {
+			found = f.Covers(l, r)
+		}
+		if !found {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// forEachSubset enumerates the size-k subsets of {0..m−1}.
+func forEachSubset(m, k int, visit func(r []int)) {
+	idx := make([]int, k)
+	var rec func(start, pos int)
+	rec = func(start, pos int) {
+		if pos == k {
+			visit(append([]int(nil), idx...))
+			return
+		}
+		for v := start; v <= m-(k-pos); v++ {
+			idx[pos] = v
+			rec(v+1, pos+1)
+		}
+	}
+	rec(0, 0)
+}
+
+// CoveringFamily returns the compact family used by default: one mapping
+// per k-subset R of {0..2k−2}, sending the members of R to their ranks
+// within R and everything else to 0. Its size is C(2k−1, k), against
+// k^(2k−1) for the full family, and it covers every possible set of
+// renamed participants.
+func CoveringFamily(k int) IndexFamily {
+	if k < 2 {
+		panic(fmt.Sprintf("setconsensus: family needs k >= 2, got %d", k))
+	}
+	var funcs [][]int
+	forEachSubset(2*k-1, k, func(r []int) {
+		f := make([]int, 2*k-1)
+		for rank, j := range r {
+			f[j] = rank
+		}
+		funcs = append(funcs, f)
+	})
+	return IndexFamily{k: k, funcs: funcs}
+}
+
+// FullFamily returns every function {0..2k−2} → {0..k−1}, in
+// lexicographic order — the literal F of the paper. Its size k^(2k−1)
+// grows fast; use it only for small k.
+func FullFamily(k int) IndexFamily {
+	if k < 2 {
+		panic(fmt.Sprintf("setconsensus: family needs k >= 2, got %d", k))
+	}
+	dom := 2*k - 1
+	total := 1
+	for i := 0; i < dom; i++ {
+		total *= k
+	}
+	funcs := make([][]int, total)
+	for n := 0; n < total; n++ {
+		f := make([]int, dom)
+		x := n
+		for j := 0; j < dom; j++ {
+			f[j] = x % k
+			x /= k
+		}
+		funcs[n] = f
+	}
+	return IndexFamily{k: k, funcs: funcs}
+}
+
+// Alg3 is Algorithm 3: (k−1)-set consensus for at most k participating
+// processes whose names come from {0..M−1}. Participants first acquire
+// names in {0..2k−2} via wait-free renaming, then walk a fixed family of
+// relaxed WRN_k instances in order, deciding the first non-⊥ value they
+// read, or their own proposal if they reach the end.
+type Alg3 struct {
+	k         int
+	ren       renaming.Protocol
+	family    IndexFamily
+	instances []wrn.Relaxed
+}
+
+// NewAlg3 registers all shared state (a renaming protocol and one relaxed
+// WRN_k instance per family member) under the given name prefix and
+// returns the protocol. m is the original name-space size. The returned
+// OneShot objects are the underlying 1sWRN_k instances, exposed so tests
+// can verify legal use.
+func NewAlg3(objects map[string]sim.Object, name string, k, m int, family IndexFamily) (Alg3, []*wrn.OneShot) {
+	ones := make([]*wrn.OneShot, 0, family.Len())
+	a := NewAlg3Over(objects, name, k, m, family, func(instName string, k int) wrn.Relaxed {
+		rlx, one := wrn.NewRelaxed(objects, instName, k)
+		ones = append(ones, one)
+		return rlx
+	})
+	return a, ones
+}
+
+// NewAlg3Over builds Algorithm 3 with a caller-supplied factory for the
+// relaxed WRN_k instances, so the protocol can run over implemented
+// objects (e.g. Algorithm 5's 1sWRN built from strong set election)
+// instead of atomic ones.
+func NewAlg3Over(objects map[string]sim.Object, name string, k, m int, family IndexFamily, mk func(instName string, k int) wrn.Relaxed) Alg3 {
+	if family.K() != k {
+		panic(fmt.Sprintf("setconsensus: family built for k=%d used with k=%d", family.K(), k))
+	}
+	a := Alg3{
+		k:      k,
+		ren:    renaming.New(objects, name+".ren", m),
+		family: family,
+	}
+	a.instances = make([]wrn.Relaxed, family.Len())
+	for l := 0; l < family.Len(); l++ {
+		a.instances[l] = mk(fmt.Sprintf("%s.W[%d]", name, l), k)
+	}
+	return a
+}
+
+// Propose runs Algorithm 3 for the participant with original name id and
+// proposal v.
+func (a Alg3) Propose(ctx *sim.Ctx, id int, v sim.Value) sim.Value {
+	j := a.ren.GetName(ctx, id)
+	for l := 0; l < a.family.Len(); l++ {
+		i := a.family.At(l, j)
+		if t := a.instances[l].RlxWRN(ctx, i, v); !wrn.IsBottom(t) {
+			return t
+		}
+	}
+	return v
+}
+
+// Program wraps Propose as a process program.
+func (a Alg3) Program(id int, v sim.Value) sim.Program {
+	return func(ctx *sim.Ctx) sim.Value {
+		return a.Propose(ctx, id, v)
+	}
+}
+
+// K returns the participant bound.
+func (a Alg3) K() int { return a.k }

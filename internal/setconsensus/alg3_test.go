@@ -1,0 +1,268 @@
+package setconsensus
+
+import (
+	"testing"
+
+	"detobj/internal/sim"
+	"detobj/internal/tasks"
+	"detobj/internal/wrn"
+)
+
+func TestCoveringFamilyShape(t *testing.T) {
+	f := CoveringFamily(3)
+	if f.K() != 3 {
+		t.Errorf("K = %d", f.K())
+	}
+	if f.Len() != 10 { // C(5,3)
+		t.Errorf("covering family size = %d, want 10", f.Len())
+	}
+	if !f.CoversAll() {
+		t.Error("covering family does not cover all 3-subsets of {0..4}")
+	}
+}
+
+func TestCoveringFamilyLargerK(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		f := CoveringFamily(k)
+		if !f.CoversAll() {
+			t.Errorf("k=%d: covering family incomplete", k)
+		}
+	}
+}
+
+func TestFullFamilyShape(t *testing.T) {
+	f := FullFamily(3)
+	if f.Len() != 243 { // 3^5
+		t.Errorf("full family size = %d, want 243", f.Len())
+	}
+	if !f.CoversAll() {
+		t.Error("full family does not cover (impossible)")
+	}
+	// Spot-check lexicographic order: member 0 is all-zero, member 1 maps
+	// name 0 to 1.
+	if f.At(0, 0) != 0 || f.At(0, 4) != 0 {
+		t.Error("member 0 not the zero function")
+	}
+	if f.At(1, 0) != 1 {
+		t.Error("member 1 does not increment the first coordinate")
+	}
+}
+
+func TestFamilyValidation(t *testing.T) {
+	for _, build := range []func(int) IndexFamily{CoveringFamily, FullFamily} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("family with k=1 did not panic")
+				}
+			}()
+			build(1)
+		}()
+	}
+}
+
+func TestNewAlg3FamilyMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("family/k mismatch did not panic")
+		}
+	}()
+	NewAlg3(map[string]sim.Object{}, "A", 4, 16, CoveringFamily(3))
+}
+
+// runAlg3 runs Algorithm 3 with the given participant ids (names from
+// {0..m−1}) and distinct proposals, returning the result and the input map
+// keyed by process index.
+func runAlg3(t *testing.T, k, m int, family IndexFamily, ids []int, seed int64) (*sim.Result, map[int]sim.Value, []*wrn.OneShot) {
+	t.Helper()
+	objects := map[string]sim.Object{}
+	a, ones := NewAlg3(objects, "A", k, m, family)
+	inputs := map[int]sim.Value{}
+	progs := make([]sim.Program, len(ids))
+	for p, id := range ids {
+		v := 1000 + id
+		inputs[p] = v
+		progs[p] = a.Program(id, v)
+	}
+	res, err := sim.Run(sim.Config{
+		Objects:   objects,
+		Programs:  progs,
+		Scheduler: sim.NewRandom(seed),
+		MaxSteps:  1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("k=%d ids=%v seed=%d: Run: %v", k, ids, seed, err)
+	}
+	return res, inputs, ones
+}
+
+// TestAlg3SetConsensus (E3, Corollary 18): with exactly k participants out
+// of a large name space, Algorithm 3 solves (k−1)-set consensus.
+func TestAlg3SetConsensus(t *testing.T) {
+	family := CoveringFamily(3)
+	idSets := [][]int{
+		{0, 1, 2},
+		{15, 3, 9},
+		{7, 11, 2},
+		{14, 13, 12},
+	}
+	task := tasks.SetConsensus{K: 2}
+	for _, ids := range idSets {
+		for seed := int64(0); seed < 40; seed++ {
+			res, inputs, ones := runAlg3(t, 3, 16, family, ids, seed)
+			if !res.AllDone() {
+				t.Fatalf("ids=%v seed=%d: not wait-free: %v", ids, seed, res.Status)
+			}
+			o := tasks.OutcomeFromResult(res, inputs)
+			if err := task.Check(o); err != nil {
+				t.Fatalf("ids=%v seed=%d: %v", ids, seed, err)
+			}
+			for l, one := range ones {
+				for i := 0; i < 3; i++ {
+					if one.Invocations(i) > 1 {
+						t.Fatalf("ids=%v seed=%d: instance %d index %d used %d times",
+							ids, seed, l, i, one.Invocations(i))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAlg3FullFamily (paper-literal F): same property with the full
+// function family, k = 3.
+func TestAlg3FullFamily(t *testing.T) {
+	family := FullFamily(3)
+	task := tasks.SetConsensus{K: 2}
+	for seed := int64(0); seed < 8; seed++ {
+		res, inputs, _ := runAlg3(t, 3, 16, family, []int{5, 10, 15}, seed)
+		if !res.AllDone() {
+			t.Fatalf("seed=%d: %v", seed, res.Status)
+		}
+		o := tasks.OutcomeFromResult(res, inputs)
+		if err := task.Check(o); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
+// TestAlg3FewerParticipants: with fewer than k participants the algorithm
+// still terminates with valid decisions (agreement is then vacuous).
+func TestAlg3FewerParticipants(t *testing.T) {
+	family := CoveringFamily(3)
+	for _, ids := range [][]int{{4}, {8, 2}} {
+		for seed := int64(0); seed < 20; seed++ {
+			res, inputs, _ := runAlg3(t, 3, 16, family, ids, seed)
+			if !res.AllDone() {
+				t.Fatalf("ids=%v seed=%d: %v", ids, seed, res.Status)
+			}
+			o := tasks.OutcomeFromResult(res, inputs)
+			if err := (tasks.SetConsensus{K: 2}).Check(o); err != nil {
+				t.Fatalf("ids=%v seed=%d: %v", ids, seed, err)
+			}
+		}
+	}
+}
+
+// TestAlg3K4: the protocol scales to k = 4 with the covering family.
+func TestAlg3K4(t *testing.T) {
+	family := CoveringFamily(4)
+	task := tasks.SetConsensus{K: 3}
+	for seed := int64(0); seed < 10; seed++ {
+		res, inputs, _ := runAlg3(t, 4, 32, family, []int{31, 0, 17, 8}, seed)
+		if !res.AllDone() {
+			t.Fatalf("seed=%d: %v", seed, res.Status)
+		}
+		o := tasks.OutcomeFromResult(res, inputs)
+		if err := task.Check(o); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
+// TestAlg3AdversarialPriority: priority adversaries (solo-run shapes) do
+// not break agreement.
+func TestAlg3AdversarialPriority(t *testing.T) {
+	family := CoveringFamily(3)
+	objects := map[string]sim.Object{}
+	a, _ := NewAlg3(objects, "A", 3, 16, family)
+	inputs := map[int]sim.Value{0: 100, 1: 101, 2: 102}
+	progs := []sim.Program{a.Program(6, 100), a.Program(1, 101), a.Program(11, 102)}
+	for _, prio := range [][]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}} {
+		objects = map[string]sim.Object{}
+		a, _ = NewAlg3(objects, "A", 3, 16, family)
+		progs = []sim.Program{a.Program(6, 100), a.Program(1, 101), a.Program(11, 102)}
+		res, err := sim.Run(sim.Config{
+			Objects:   objects,
+			Programs:  progs,
+			Scheduler: sim.Priority(prio),
+			MaxSteps:  1 << 20,
+		})
+		if err != nil {
+			t.Fatalf("prio %v: %v", prio, err)
+		}
+		o := tasks.OutcomeFromResult(res, inputs)
+		if err := (tasks.SetConsensus{K: 2}).Check(o); err != nil {
+			t.Fatalf("prio %v: %v", prio, err)
+		}
+	}
+}
+
+// TestAlg3Claim16SomeoneAdopts: with exactly k participants carrying
+// distinct values, EVERY execution has some process deciding another's
+// proposal — the covering iteration ℓ* guarantees a cross-decision, which
+// is what drives (k−1)-agreement (Claim 16).
+func TestAlg3Claim16SomeoneAdopts(t *testing.T) {
+	family := CoveringFamily(3)
+	ids := []int{5, 9, 14}
+	for seed := int64(0); seed < 60; seed++ {
+		res, inputs, _ := runAlg3(t, 3, 16, family, ids, seed)
+		if !res.AllDone() {
+			t.Fatalf("seed %d: %v", seed, res.Status)
+		}
+		adopted := false
+		for p := range ids {
+			if res.Outputs[p] != inputs[p] {
+				adopted = true
+				break
+			}
+		}
+		if !adopted {
+			t.Fatalf("seed %d: every process decided its own value; Claim 16 violated", seed)
+		}
+	}
+}
+
+// TestAlg3Claim16UnderAdversaries: the same under priority adversaries.
+func TestAlg3Claim16UnderAdversaries(t *testing.T) {
+	family := CoveringFamily(3)
+	ids := []int{5, 9, 14}
+	for _, prio := range [][]int{{0, 1, 2}, {2, 1, 0}, {1, 0, 2}, {2, 0, 1}, {0, 2, 1}, {1, 2, 0}} {
+		objects := map[string]sim.Object{}
+		a, _ := NewAlg3(objects, "A", 3, 16, family)
+		inputs := map[int]sim.Value{}
+		progs := make([]sim.Program, 3)
+		for p, id := range ids {
+			inputs[p] = 1000 + id
+			progs[p] = a.Program(id, 1000+id)
+		}
+		res, err := sim.Run(sim.Config{
+			Objects:   objects,
+			Programs:  progs,
+			Scheduler: sim.Priority(prio),
+			MaxSteps:  1 << 20,
+		})
+		if err != nil {
+			t.Fatalf("prio %v: %v", prio, err)
+		}
+		adopted := false
+		for p := 0; p < 3; p++ {
+			if res.Outputs[p] != inputs[p] {
+				adopted = true
+			}
+		}
+		if !adopted {
+			t.Fatalf("prio %v: no cross-decision", prio)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package setconsensus
+
+import (
+	"detobj/internal/sim"
+	"detobj/internal/wrn"
+)
+
+// Alg6 is Algorithm 6 (§7.1): m-set consensus for n processes from
+// ⌈n/k⌉ WRN_k objects. Process i runs Algorithm 2 within its group
+// ⌊i/k⌋ using index i mod k. Every index of every instance is used at
+// most once, so 1sWRN_k objects suffice.
+type Alg6 struct {
+	n, k      int
+	instances []wrn.Ref
+}
+
+// NewAlg6 registers ⌈n/k⌉ fresh 1sWRN_k objects under the name prefix
+// and returns the protocol.
+func NewAlg6(objects map[string]sim.Object, name string, n, k int) Alg6 {
+	groups := (n + k - 1) / k
+	instances := make([]wrn.Ref, groups)
+	for g := 0; g < groups; g++ {
+		instName := sim.Indexed(name, g)
+		objects[instName] = wrn.NewOneShot(k)
+		instances[g] = wrn.Ref{Name: instName}
+	}
+	return Alg6{n: n, k: k, instances: instances}
+}
+
+// Propose runs Algorithm 6 for process i with proposal v.
+func (a Alg6) Propose(ctx *sim.Ctx, i int, v sim.Value) sim.Value {
+	return Alg2Propose(ctx, a.instances[i/a.k], i%a.k, v)
+}
+
+// Program wraps Propose as a process program.
+func (a Alg6) Program(i int, v sim.Value) sim.Program {
+	return func(ctx *sim.Ctx) sim.Value {
+		return a.Propose(ctx, i, v)
+	}
+}
+
+// Guarantee returns the exact agreement bound m the protocol achieves for
+// n processes and parameter k: each full group of k contributes at most
+// k−1 distinct decisions (Corollary 9) and a trailing partial group of
+// size s contributes at most s. The paper states the sufficient ratio
+// (k−1)/k ≤ m/n; Guarantee is the tight value, e.g. Guarantee(12, 3) = 8,
+// matching the paper's "(12,8)-set consensus from WRN_3".
+func Guarantee(n, k int) int {
+	full := n / k
+	rest := n % k
+	return full*(k-1) + rest
+}
+
+// RatioSufficient reports the paper's §7.1 sufficient condition
+// (k−1)/k ≤ m/n for WRN_k objects to solve m-set consensus among n
+// processes.
+func RatioSufficient(n, m, k int) bool {
+	return (k-1)*n <= m*k
+}

@@ -1,0 +1,154 @@
+package setconsensus
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"detobj/internal/modelcheck"
+	"detobj/internal/sim"
+	"detobj/internal/tasks"
+)
+
+func TestGuarantee(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{12, 3, 8}, // the paper's example: WRN_3 gives (12,8)-set consensus
+		{3, 3, 2},
+		{4, 3, 3},
+		{7, 3, 5},
+		{10, 5, 8},
+		{5, 5, 4},
+		{6, 5, 5},
+	}
+	for _, c := range cases {
+		if got := Guarantee(c.n, c.k); got != c.want {
+			t.Errorf("Guarantee(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestRatioSufficient(t *testing.T) {
+	if !RatioSufficient(12, 8, 3) {
+		t.Error("paper example (12,8,3) rejected")
+	}
+	if RatioSufficient(12, 7, 3) {
+		t.Error("(12,7,3) accepted; 7/12 < 2/3")
+	}
+}
+
+// TestQuickGuaranteeImpliesRatio: the tight bound always satisfies the
+// paper's sufficient ratio (k−1)/k ≤ m/n.
+func TestQuickGuaranteeImpliesRatio(t *testing.T) {
+	f := func(rawN, rawK uint8) bool {
+		k := int(rawK%6) + 3
+		n := int(rawN%30) + k
+		return RatioSufficient(n, Guarantee(n, k), k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// runAlg6 runs Algorithm 6 with n processes and distinct proposals.
+func runAlg6(t *testing.T, n, k int, seed int64) (*sim.Result, map[int]sim.Value) {
+	t.Helper()
+	objects := map[string]sim.Object{}
+	a := NewAlg6(objects, "G", n, k)
+	inputs := map[int]sim.Value{}
+	progs := make([]sim.Program, n)
+	for i := 0; i < n; i++ {
+		v := i * 10
+		inputs[i] = v
+		progs[i] = a.Program(i, v)
+	}
+	res, err := sim.Run(sim.Config{Objects: objects, Programs: progs, Scheduler: sim.NewRandom(seed)})
+	if err != nil {
+		t.Fatalf("n=%d k=%d seed=%d: %v", n, k, seed, err)
+	}
+	return res, inputs
+}
+
+// TestAlg6MSetConsensus (E9, Corollary 40): Algorithm 6 solves
+// Guarantee(n,k)-set consensus for n processes.
+func TestAlg6MSetConsensus(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{3, 3}, {4, 3}, {6, 3}, {7, 3}, {12, 3}, {9, 4}, {10, 5},
+	}
+	for _, c := range cases {
+		task := tasks.SetConsensus{K: Guarantee(c.n, c.k)}
+		for seed := int64(0); seed < 50; seed++ {
+			res, inputs := runAlg6(t, c.n, c.k, seed)
+			if !res.AllDone() {
+				t.Fatalf("n=%d k=%d seed=%d: %v", c.n, c.k, seed, res.Status)
+			}
+			o := tasks.OutcomeFromResult(res, inputs)
+			if err := task.Check(o); err != nil {
+				t.Fatalf("n=%d k=%d seed=%d: %v", c.n, c.k, seed, err)
+			}
+		}
+	}
+}
+
+// TestAlg6PerGroup (Lemma 39): every full group of k processes satisfies
+// (k−1)-set consensus among its own proposals.
+func TestAlg6PerGroup(t *testing.T) {
+	const n, k = 12, 3
+	for seed := int64(0); seed < 50; seed++ {
+		res, inputs := runAlg6(t, n, k, seed)
+		for g := 0; g < n/k; g++ {
+			groupIn := map[int]sim.Value{}
+			groupOut := map[int]sim.Value{}
+			for i := g * k; i < (g+1)*k; i++ {
+				groupIn[i] = inputs[i]
+				groupOut[i] = res.Outputs[i]
+			}
+			o := tasks.Outcome{Inputs: groupIn, Outputs: groupOut}
+			if err := (tasks.SetConsensus{K: k - 1}).Check(o); err != nil {
+				t.Fatalf("seed=%d group %d: %v", seed, g, err)
+			}
+		}
+	}
+}
+
+// TestAlg6InstanceCount: ⌈n/k⌉ instances are registered.
+func TestAlg6InstanceCount(t *testing.T) {
+	objects := map[string]sim.Object{}
+	NewAlg6(objects, "G", 7, 3)
+	if len(objects) != 3 {
+		t.Errorf("registered %d objects, want 3", len(objects))
+	}
+}
+
+// TestAlg6ExhaustiveSmall: Algorithm 6 verified over EVERY execution for
+// small configurations (one step per process, so n! schedules).
+func TestAlg6ExhaustiveSmall(t *testing.T) {
+	for _, cfg := range []struct{ n, k int }{{4, 2}, {5, 3}, {6, 3}} {
+		cfg := cfg
+		inputs := map[int]sim.Value{}
+		for i := 0; i < cfg.n; i++ {
+			inputs[i] = i * 10
+		}
+		task := tasks.SetConsensus{K: Guarantee(cfg.n, cfg.k)}
+		count, err := modelcheck.VerifyAll(func() sim.Config {
+			objects := map[string]sim.Object{}
+			a := NewAlg6(objects, "G", cfg.n, cfg.k)
+			progs := make([]sim.Program, cfg.n)
+			for i := 0; i < cfg.n; i++ {
+				progs[i] = a.Program(i, i*10)
+			}
+			return sim.Config{Objects: objects, Programs: progs}
+		}, 1<<20, func(res *sim.Result) error {
+			if !res.AllDone() {
+				return fmt.Errorf("not wait-free: %v", res.Status)
+			}
+			o := tasks.OutcomeFromResult(res, inputs)
+			return task.Check(o)
+		})
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", cfg.n, cfg.k, err)
+		}
+		if want := factorial(cfg.n); count != want {
+			t.Fatalf("n=%d k=%d: %d executions, want %d", cfg.n, cfg.k, count, want)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package setconsensus
+
+import (
+	"testing"
+
+	"detobj/internal/sim"
+	"detobj/internal/tasks"
+)
+
+// Wait-freedom is exactly crash tolerance: whatever subset of processes
+// the adversary silences forever, every live process must still decide,
+// and the decisions of the deciders must satisfy the task. These tests
+// drive Algorithms 2, 3 and 6 under every crash pattern.
+
+// TestAlg2CrashTolerance (Claim 3): every non-empty crash pattern leaves
+// the survivors deciding within the (k−1) bound.
+func TestAlg2CrashTolerance(t *testing.T) {
+	const k = 4
+	task := tasks.SetConsensus{K: k - 1}
+	for mask := 0; mask < 1<<k-1; mask++ { // at least one survivor
+		var crashed []int
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				crashed = append(crashed, i)
+			}
+		}
+		for seed := int64(0); seed < 10; seed++ {
+			objects := map[string]sim.Object{}
+			vs, inputs := proposalsFor(k)
+			progs := NewAlg2(objects, "W", vs)
+			res, err := sim.Run(sim.Config{
+				Objects:   objects,
+				Programs:  progs,
+				Scheduler: sim.NewCrashing(sim.NewRandom(seed), crashed...),
+			})
+			if err != nil {
+				t.Fatalf("crashed=%v seed=%d: %v", crashed, seed, err)
+			}
+			for i := 0; i < k; i++ {
+				if contains(crashed, i) {
+					continue
+				}
+				if res.Status[i] != sim.StatusDone {
+					t.Fatalf("crashed=%v seed=%d: live process %d did not decide: %v",
+						crashed, seed, i, res.Status[i])
+				}
+			}
+			o := tasks.OutcomeFromResult(res, inputs)
+			if err := task.Check(o); err != nil {
+				t.Fatalf("crashed=%v seed=%d: %v", crashed, seed, err)
+			}
+		}
+	}
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAlg3CrashTolerance: Algorithm 3 is wait-free through renaming and
+// all (2k−1 choose k) relaxed instances, even when participants crash at
+// arbitrary points.
+func TestAlg3CrashTolerance(t *testing.T) {
+	const k, m = 3, 16
+	family := CoveringFamily(k)
+	ids := []int{11, 2, 7}
+	task := tasks.SetConsensus{K: k - 1}
+	for _, crashed := range [][]int{{0}, {1}, {2}, {0, 1}, {1, 2}, {0, 2}} {
+		for seed := int64(0); seed < 10; seed++ {
+			objects := map[string]sim.Object{}
+			a, _ := NewAlg3(objects, "A", k, m, family)
+			inputs := map[int]sim.Value{}
+			progs := make([]sim.Program, k)
+			for p, id := range ids {
+				inputs[p] = 1000 + id
+				progs[p] = a.Program(id, 1000+id)
+			}
+			res, err := sim.Run(sim.Config{
+				Objects:   objects,
+				Programs:  progs,
+				Scheduler: sim.NewCrashing(sim.NewRandom(seed), crashed...),
+				MaxSteps:  1 << 20,
+			})
+			if err != nil {
+				t.Fatalf("crashed=%v seed=%d: %v", crashed, seed, err)
+			}
+			for p := 0; p < k; p++ {
+				if !contains(crashed, p) && res.Status[p] != sim.StatusDone {
+					t.Fatalf("crashed=%v seed=%d: live participant %d stuck: %v",
+						crashed, seed, p, res.Status[p])
+				}
+			}
+			o := tasks.OutcomeFromResult(res, inputs)
+			if err := task.Check(o); err != nil {
+				t.Fatalf("crashed=%v seed=%d: %v", crashed, seed, err)
+			}
+		}
+	}
+}
+
+// TestAlg6CrashTolerance: each group is independently wait-free.
+func TestAlg6CrashTolerance(t *testing.T) {
+	const n, k = 9, 3
+	task := tasks.SetConsensus{K: Guarantee(n, k)}
+	crashPatterns := [][]int{{0}, {0, 3, 6}, {1, 2}, {4, 5, 7, 8}}
+	for _, crashed := range crashPatterns {
+		for seed := int64(0); seed < 10; seed++ {
+			objects := map[string]sim.Object{}
+			a := NewAlg6(objects, "G", n, k)
+			inputs := map[int]sim.Value{}
+			progs := make([]sim.Program, n)
+			for i := 0; i < n; i++ {
+				inputs[i] = i * 10
+				progs[i] = a.Program(i, i*10)
+			}
+			res, err := sim.Run(sim.Config{
+				Objects:   objects,
+				Programs:  progs,
+				Scheduler: sim.NewCrashing(sim.NewRandom(seed), crashed...),
+			})
+			if err != nil {
+				t.Fatalf("crashed=%v seed=%d: %v", crashed, seed, err)
+			}
+			for i := 0; i < n; i++ {
+				if !contains(crashed, i) && res.Status[i] != sim.StatusDone {
+					t.Fatalf("crashed=%v seed=%d: live process %d stuck", crashed, seed, i)
+				}
+			}
+			o := tasks.OutcomeFromResult(res, inputs)
+			if err := task.Check(o); err != nil {
+				t.Fatalf("crashed=%v seed=%d: %v", crashed, seed, err)
+			}
+		}
+	}
+}

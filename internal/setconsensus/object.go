@@ -1,0 +1,82 @@
+// Package setconsensus implements the paper's set-consensus machinery: the
+// nondeterministic (n,k)-set consensus object of Borowsky–Gafni (paper §2),
+// and the three WRN-based set-consensus algorithms — Algorithm 2 ((k−1)-set
+// consensus for k processes from one WRN_k), Algorithm 3 ((k−1)-set
+// consensus for k participants drawn from a large name space, via renaming
+// and a family of relaxed WRN_k instances), and Algorithm 6 (m-set
+// consensus for n processes, §7.1).
+package setconsensus
+
+import (
+	"fmt"
+
+	"detobj/internal/sim"
+)
+
+// Object is an (n,k)-set consensus object: a nondeterministic shared
+// object whose value is a set of at most K proposals plus a count of
+// propose operations (to a maximum of N). The first propose adds its
+// input; later proposes may nondeterministically add theirs while the set
+// is smaller than K. Each of the first N proposes returns a
+// nondeterministically chosen element of the set; all later proposes hang
+// the caller undetectably.
+type Object struct {
+	n, k  int
+	set   []sim.Value
+	count int
+}
+
+// NewObject returns a fresh (n,k)-set consensus object. It panics unless
+// 0 < k < n.
+func NewObject(n, k int) *Object {
+	if k <= 0 || k >= n {
+		panic(fmt.Sprintf("setconsensus: need 0 < k < n, got (n,k) = (%d,%d)", n, k))
+	}
+	return &Object{n: n, k: k}
+}
+
+// N returns the object's propose budget.
+func (o *Object) N() int { return o.n }
+
+// K returns the object's agreement parameter.
+func (o *Object) K() int { return o.k }
+
+// Set returns a copy of the current decision set, for tests.
+func (o *Object) Set() []sim.Value {
+	return append([]sim.Value(nil), o.set...)
+}
+
+// Apply implements sim.Object with the single operation "propose"(v).
+func (o *Object) Apply(env *sim.Env, inv sim.Invocation) sim.Response {
+	if inv.Op != "propose" {
+		panic(fmt.Sprintf("setconsensus: unknown operation %q", inv.Op))
+	}
+	v := inv.Arg(0)
+	if v == nil {
+		panic("setconsensus: propose of nil value")
+	}
+	o.count++
+	if o.count > o.n {
+		return sim.HangCaller()
+	}
+	switch {
+	case len(o.set) == 0:
+		o.set = append(o.set, v)
+	case len(o.set) < o.k:
+		if env.Rand.Intn(2) == 1 {
+			o.set = append(o.set, v)
+		}
+	}
+	return sim.Respond(o.set[env.Rand.Intn(len(o.set))])
+}
+
+// Ref is a typed handle to a set-consensus Object registered under Name.
+type Ref struct {
+	Name string
+}
+
+// Propose submits v and returns the object's decision for this caller
+// (one atomic step).
+func (r Ref) Propose(ctx *sim.Ctx, v sim.Value) sim.Value {
+	return ctx.Invoke(r.Name, "propose", v)
+}

@@ -1,0 +1,143 @@
+package setconsensus
+
+import (
+	"fmt"
+	"testing"
+
+	"detobj/internal/sim"
+	"detobj/internal/tasks"
+)
+
+func TestNewObjectValidation(t *testing.T) {
+	for _, nk := range [][2]int{{3, 0}, {3, 3}, {2, 5}} {
+		nk := nk
+		t.Run(fmt.Sprint(nk), func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewObject(%d,%d) did not panic", nk[0], nk[1])
+				}
+			}()
+			NewObject(nk[0], nk[1])
+		})
+	}
+}
+
+func TestObjectUnknownOpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown op did not panic")
+		}
+	}()
+	NewObject(3, 2).Apply(&sim.Env{}, sim.Invocation{Op: "read"})
+}
+
+func TestObjectNilProposalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil proposal did not panic")
+		}
+	}()
+	NewObject(3, 2).Apply(&sim.Env{}, sim.Invocation{Op: "propose", Args: []sim.Value{nil}})
+}
+
+// TestObjectTaskCompliance: over many seeds, n processes proposing
+// distinct values through an (n,k)-set consensus object always satisfy
+// validity and k-agreement.
+func TestObjectTaskCompliance(t *testing.T) {
+	const n, k = 5, 3
+	for seed := int64(0); seed < 200; seed++ {
+		obj := NewObject(n, k)
+		objects := map[string]sim.Object{"S": obj}
+		ref := Ref{Name: "S"}
+		inputs := map[int]sim.Value{}
+		progs := make([]sim.Program, n)
+		for i := 0; i < n; i++ {
+			v := i * 10
+			inputs[i] = v
+			progs[i] = func(ctx *sim.Ctx) sim.Value { return ref.Propose(ctx, v) }
+		}
+		res, err := sim.Run(sim.Config{
+			Objects:   objects,
+			Programs:  progs,
+			Scheduler: sim.NewRandom(seed),
+			Seed:      seed * 31,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.AllDone() {
+			t.Fatalf("seed %d: the first n proposes must all return: %v", seed, res.Status)
+		}
+		o := tasks.OutcomeFromResult(res, inputs)
+		if err := (tasks.SetConsensus{K: k}).Check(o); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := len(obj.Set()); got < 1 || got > k {
+			t.Fatalf("seed %d: decision set has %d values", seed, got)
+		}
+	}
+}
+
+// TestObjectFirstProposerGetsOwnValue: run solo first — the set holds only
+// its own proposal, so it must decide it.
+func TestObjectFirstProposerGetsOwnValue(t *testing.T) {
+	objects := map[string]sim.Object{"S": NewObject(3, 2)}
+	ref := Ref{Name: "S"}
+	mk := func(v int) sim.Program {
+		return func(ctx *sim.Ctx) sim.Value { return ref.Propose(ctx, v) }
+	}
+	res, err := sim.Run(sim.Config{
+		Objects:   objects,
+		Programs:  []sim.Program{mk(100), mk(200), mk(300)},
+		Scheduler: sim.Priority{0, 1, 2},
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Outputs[0] != 100 {
+		t.Errorf("first proposer decided %v, want its own 100", res.Outputs[0])
+	}
+}
+
+// TestObjectHangsBeyondBudget: propose n+1 times — the extra caller hangs
+// and no other process can tell.
+func TestObjectHangsBeyondBudget(t *testing.T) {
+	const n = 2
+	objects := map[string]sim.Object{"S": NewObject(n, 1)}
+	ref := Ref{Name: "S"}
+	mk := func(v int) sim.Program {
+		return func(ctx *sim.Ctx) sim.Value { return ref.Propose(ctx, v) }
+	}
+	res, err := sim.Run(sim.Config{
+		Objects:   objects,
+		Programs:  []sim.Program{mk(1), mk(2), mk(3)},
+		Scheduler: sim.Priority{0, 1, 2},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	done, hung := 0, 0
+	for _, st := range res.Status {
+		switch st {
+		case sim.StatusDone:
+			done++
+		case sim.StatusHung:
+			hung++
+		}
+	}
+	if done != n || hung != 1 {
+		t.Errorf("done=%d hung=%d, want %d and 1", done, hung, n)
+	}
+}
+
+func TestObjectAccessors(t *testing.T) {
+	o := NewObject(4, 2)
+	if o.N() != 4 || o.K() != 2 {
+		t.Errorf("N,K = %d,%d", o.N(), o.K())
+	}
+	set := o.Set()
+	if len(set) != 0 {
+		t.Errorf("initial set = %v", set)
+	}
+}

@@ -1,0 +1,95 @@
+package setconsensus
+
+import (
+	"testing"
+
+	"detobj/internal/sim"
+	"detobj/internal/tasks"
+	"detobj/internal/wrn"
+)
+
+// TestFullStack runs the deepest composition in the paper: Algorithm 3
+// (renaming + covering family) over relaxed WRN_k wrappers (Algorithm 4)
+// over IMPLEMENTED 1sWRN_k objects (Algorithm 5: strong set election,
+// doorway, double snapshots) — every layer simulated, nothing atomic
+// except registers, snapshots and the strong-election object. The whole
+// stack must still solve (k−1)-set consensus for k participants out of M
+// names.
+func TestFullStack(t *testing.T) {
+	const k, m = 3, 16
+	family := CoveringFamily(k)
+	task := tasks.SetConsensus{K: k - 1}
+	ids := []int{13, 4, 9}
+	for seed := int64(0); seed < 25; seed++ {
+		objects := map[string]sim.Object{}
+		a := NewAlg3Over(objects, "S", k, m, family, func(instName string, k int) wrn.Relaxed {
+			impl := wrn.NewImpl(objects, instName, k)
+			return wrn.NewRelaxedOver(objects, instName+".cnt", k, impl)
+		})
+		inputs := map[int]sim.Value{}
+		progs := make([]sim.Program, k)
+		for p, id := range ids {
+			inputs[p] = 1000 + id
+			progs[p] = a.Program(id, 1000+id)
+		}
+		res, err := sim.Run(sim.Config{
+			Objects:   objects,
+			Programs:  progs,
+			Scheduler: sim.NewRandom(seed),
+			Seed:      seed * 11,
+			MaxSteps:  1 << 21,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.AllDone() {
+			t.Fatalf("seed %d: stack not wait-free: %v", seed, res.Status)
+		}
+		o := tasks.OutcomeFromResult(res, inputs)
+		if err := task.Check(o); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestFullStackCrash: the composed stack stays wait-free for survivors
+// under crashes.
+func TestFullStackCrash(t *testing.T) {
+	const k, m = 3, 16
+	family := CoveringFamily(k)
+	ids := []int{13, 4, 9}
+	for _, crashed := range [][]int{{0}, {2}, {0, 1}} {
+		for seed := int64(0); seed < 8; seed++ {
+			objects := map[string]sim.Object{}
+			a := NewAlg3Over(objects, "S", k, m, family, func(instName string, k int) wrn.Relaxed {
+				impl := wrn.NewImpl(objects, instName, k)
+				return wrn.NewRelaxedOver(objects, instName+".cnt", k, impl)
+			})
+			inputs := map[int]sim.Value{}
+			progs := make([]sim.Program, k)
+			for p, id := range ids {
+				inputs[p] = 1000 + id
+				progs[p] = a.Program(id, 1000+id)
+			}
+			res, err := sim.Run(sim.Config{
+				Objects:   objects,
+				Programs:  progs,
+				Scheduler: sim.NewCrashing(sim.NewRandom(seed), crashed...),
+				Seed:      seed,
+				MaxSteps:  1 << 21,
+			})
+			if err != nil {
+				t.Fatalf("crashed=%v seed=%d: %v", crashed, seed, err)
+			}
+			for p := 0; p < k; p++ {
+				if !contains(crashed, p) && res.Status[p] != sim.StatusDone {
+					t.Fatalf("crashed=%v seed=%d: survivor %d stuck: %v", crashed, seed, p, res.Status[p])
+				}
+			}
+			o := tasks.OutcomeFromResult(res, inputs)
+			if err := (tasks.SetConsensus{K: k - 1}).Check(o); err != nil {
+				t.Fatalf("crashed=%v seed=%d: %v", crashed, seed, err)
+			}
+		}
+	}
+}

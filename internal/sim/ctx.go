@@ -1,0 +1,50 @@
+package sim
+
+// Ctx is a process's handle to the simulated world. All interaction with
+// shared state goes through Invoke; BeginOp/EndOp annotate the trace with
+// the intervals of logical (implemented) operations for the linearizability
+// checker.
+type Ctx struct {
+	id  int
+	msg chan<- message
+	res <-chan resume
+}
+
+// ID returns the process id (its index in Config.Programs).
+func (c *Ctx) ID() int { return c.id }
+
+// Invoke applies one atomic operation to the named shared object and
+// returns its result. The call blocks until the scheduler grants the
+// process a step. If the object hangs the process, Invoke never returns:
+// the process is parked and its goroutine reclaimed.
+func (c *Ctx) Invoke(object, op string, args ...Value) Value {
+	c.msg <- message{kind: msgInvoke, obj: object, inv: Invocation{Op: op, Args: args}}
+	r := <-c.res
+	if r.abort {
+		panic(abortSignal{})
+	}
+	return r.value
+}
+
+// BeginOp records the start of a logical operation on an implemented
+// object. It does not consume a scheduler step.
+func (c *Ctx) BeginOp(object, op string, args ...Value) {
+	c.msg <- message{
+		kind:     msgMark,
+		obj:      object,
+		inv:      Invocation{Op: op, Args: args},
+		markKind: EventCall,
+	}
+}
+
+// EndOp records the completion of the logical operation last begun with
+// BeginOp, together with its result. It does not consume a scheduler step.
+func (c *Ctx) EndOp(object, op string, out Value) {
+	c.msg <- message{
+		kind:     msgMark,
+		obj:      object,
+		inv:      Invocation{Op: op},
+		markKind: EventReturn,
+		markOut:  out,
+	}
+}

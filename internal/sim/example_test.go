@@ -1,0 +1,75 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"detobj/internal/registers"
+	"detobj/internal/sim"
+)
+
+// ExampleRun demonstrates the lockstep simulator: two processes increment
+// a shared counter under a fixed schedule.
+func ExampleRun() {
+	objects := map[string]sim.Object{"C": registers.NewCounter()}
+	c := registers.CounterRef{Name: "C"}
+	worker := func(ctx *sim.Ctx) sim.Value {
+		c.Inc(ctx)
+		return c.Read(ctx)
+	}
+	res, err := sim.Run(sim.Config{
+		Objects:   objects,
+		Programs:  []sim.Program{worker, worker},
+		Scheduler: sim.NewFixed(0, 1, 1, 0),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Outputs, res.Steps)
+	// Output: [2 2] 4
+}
+
+// ExampleRun_hang shows the undetectable-hang semantics: the object parks
+// one caller forever while the other finishes.
+func ExampleRun_hang() {
+	budget := 0
+	stingy := sim.ObjectFunc(func(_ *sim.Env, _ sim.Invocation) sim.Response {
+		budget++
+		if budget > 1 {
+			return sim.HangCaller()
+		}
+		return sim.Respond("ok")
+	})
+	objects := map[string]sim.Object{"X": stingy}
+	prog := func(ctx *sim.Ctx) sim.Value { return ctx.Invoke("X", "take") }
+	res, err := sim.Run(sim.Config{
+		Objects:   objects,
+		Programs:  []sim.Program{prog, prog},
+		Scheduler: sim.NewFixed(0, 1),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Status[0], res.Status[1])
+	// Output: done hung
+}
+
+// ExampleNewCrashing shows the crash-failure adversary: the crashed
+// process never runs, the survivor still finishes.
+func ExampleNewCrashing() {
+	objects := map[string]sim.Object{"C": registers.NewCounter()}
+	c := registers.CounterRef{Name: "C"}
+	worker := func(ctx *sim.Ctx) sim.Value {
+		c.Inc(ctx)
+		return c.Read(ctx)
+	}
+	res, err := sim.Run(sim.Config{
+		Objects:   objects,
+		Programs:  []sim.Program{worker, worker},
+		Scheduler: sim.NewCrashing(nil, 1),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Outputs[0], res.Status[1])
+	// Output: 1 stopped
+}

@@ -1,0 +1,422 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// DefaultMaxSteps bounds runs whose scheduler never stops; exceeding it is
+// reported as ErrMaxSteps. Wait-free algorithms terminate far below it.
+const DefaultMaxSteps = 1 << 20
+
+// Sentinel errors returned by Run.
+var (
+	// ErrNoPrograms is returned when the configuration has no processes.
+	ErrNoPrograms = errors.New("sim: configuration has no programs")
+	// ErrMaxSteps is returned when a run exceeds its step budget.
+	ErrMaxSteps = errors.New("sim: run exceeded maximum step count")
+	// ErrUnknownObject is returned when a program invokes an object that
+	// was never registered in the configuration.
+	ErrUnknownObject = errors.New("sim: invocation of unknown object")
+	// ErrBadSchedule is returned when a scheduler names a process that is
+	// not enabled.
+	ErrBadSchedule = errors.New("sim: scheduler chose a process that is not enabled")
+	// ErrProgramPanic is returned when a program panics; the panic value is
+	// included in the wrapped error.
+	ErrProgramPanic = errors.New("sim: program panicked")
+	// ErrObjectPanic is returned when an object's Apply panics (an illegal
+	// invocation, or a model-checking control signal). The error is an
+	// *ObjectPanicError carrying the panic value.
+	ErrObjectPanic = errors.New("sim: object panicked")
+)
+
+// ObjectPanicError reports a panic raised by an object during Apply. It
+// wraps ErrObjectPanic and preserves the panic value, which the model
+// checker uses to intercept choice-demand signals from nondeterministic
+// objects.
+type ObjectPanicError struct {
+	Object string
+	Op     string
+	Value  any
+}
+
+// Error implements error.
+func (e *ObjectPanicError) Error() string {
+	return fmt.Sprintf("sim: object %q panicked applying %q: %v", e.Object, e.Op, e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrObjectPanic) work.
+func (e *ObjectPanicError) Unwrap() error { return ErrObjectPanic }
+
+// Program is the sequential code of one process. It communicates only via
+// ctx and returns the process's output (its decision). Programs for
+// different processes must not share mutable memory; everything shared goes
+// through objects.
+type Program func(ctx *Ctx) Value
+
+// Config describes one run: the shared objects, one program per process,
+// the scheduler and determinism parameters.
+type Config struct {
+	// Objects maps object names to fresh object instances. Objects carry
+	// state, so a Config (with its Objects) describes a single run; use a
+	// factory to run many times.
+	Objects map[string]Object
+	// Programs holds one program per process; process ids are indices.
+	Programs []Program
+	// Scheduler decides the interleaving; nil defaults to round-robin.
+	Scheduler Scheduler
+	// MaxSteps bounds the run; 0 means DefaultMaxSteps.
+	MaxSteps int
+	// Seed seeds Env.Rand for nondeterministic objects.
+	Seed int64
+	// Choice, when non-nil, replaces the seeded Env.Rand so callers (in
+	// particular the model checker) can control or enumerate the choices
+	// of nondeterministic objects.
+	Choice RandSource
+	// DisableTrace suppresses event recording (for benchmarks).
+	DisableTrace bool
+}
+
+// ProcStatus is the final status of a process after a run.
+type ProcStatus int
+
+const (
+	// StatusDone means the program returned an output.
+	StatusDone ProcStatus = iota
+	// StatusHung means an object parked the process forever.
+	StatusHung
+	// StatusStopped means the scheduler halted the run while the process
+	// still had a pending invocation.
+	StatusStopped
+	// StatusFailed means the program panicked.
+	StatusFailed
+)
+
+// String implements fmt.Stringer.
+func (s ProcStatus) String() string {
+	switch s {
+	case StatusDone:
+		return "done"
+	case StatusHung:
+		return "hung"
+	case StatusStopped:
+		return "stopped"
+	case StatusFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("ProcStatus(%d)", int(s))
+	}
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Outputs holds each process's returned value; nil for processes that
+	// did not finish.
+	Outputs []Value
+	// Status holds each process's final status.
+	Status []ProcStatus
+	// Enabled lists processes that still had a pending invocation when the
+	// run was stopped by the scheduler, in increasing id order.
+	Enabled []int
+	// Steps is the number of atomic steps taken.
+	Steps int
+	// Trace is the recorded event history (empty if DisableTrace).
+	Trace Trace
+}
+
+// Decided returns the outputs of processes with StatusDone, indexed by
+// process id; absent processes are skipped.
+func (r *Result) Decided() map[int]Value {
+	out := make(map[int]Value)
+	for i, st := range r.Status {
+		if st == StatusDone {
+			out[i] = r.Outputs[i]
+		}
+	}
+	return out
+}
+
+// AllDone reports whether every process produced an output.
+func (r *Result) AllDone() bool {
+	for _, st := range r.Status {
+		if st != StatusDone {
+			return false
+		}
+	}
+	return true
+}
+
+type msgKind int
+
+const (
+	msgInvoke msgKind = iota
+	msgMark
+	msgDone
+	msgPanic
+)
+
+type message struct {
+	kind msgKind
+	obj  string
+	inv  Invocation
+	// mark fields, for msgMark
+	markKind EventKind
+	markOut  Value
+	// done / panic payload
+	out Value
+	err any
+}
+
+type resume struct {
+	value Value
+	abort bool
+}
+
+// abortSignal is panicked inside Ctx.Invoke to unwind an aborted process.
+type abortSignal struct{}
+
+type procState struct {
+	msgCh   chan message
+	resCh   chan resume
+	status  ProcStatus
+	pending bool
+	inv     message
+	output  Value
+	live    bool // goroutine still owns the channels
+}
+
+// Run executes one complete run of the configuration and returns its
+// result. It is deterministic given Config and the scheduler's behaviour.
+func Run(cfg Config) (*Result, error) {
+	n := len(cfg.Programs)
+	if n == 0 {
+		return nil, ErrNoPrograms
+	}
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = NewRoundRobin()
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+
+	rt := &runtime{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		procs: make([]*procState, n),
+	}
+	for i, prog := range cfg.Programs {
+		p := &procState{
+			msgCh: make(chan message),
+			resCh: make(chan resume),
+			live:  true,
+		}
+		rt.procs[i] = p
+		go runProgram(i, prog, p)
+	}
+
+	// Settle every process to its first invocation (or completion).
+	for i := range rt.procs {
+		if err := rt.settle(i); err != nil {
+			rt.abortAll()
+			return nil, err
+		}
+	}
+
+	for {
+		enabled := rt.enabled()
+		if len(enabled) == 0 {
+			break
+		}
+		if rt.steps >= maxSteps {
+			rt.abortAll()
+			return nil, fmt.Errorf("%w (budget %d)", ErrMaxSteps, maxSteps)
+		}
+		next := sched.Next(View{Step: rt.steps, Enabled: enabled})
+		if next == Stop {
+			for _, id := range enabled {
+				rt.procs[id].status = StatusStopped
+			}
+			rt.abortAll()
+			return rt.result(enabled), nil
+		}
+		if !contains(enabled, next) {
+			rt.abortAll()
+			return nil, fmt.Errorf("%w: process %d at step %d", ErrBadSchedule, next, rt.steps)
+		}
+		if err := rt.step(next); err != nil {
+			rt.abortAll()
+			return nil, err
+		}
+	}
+	return rt.result(nil), nil
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+type runtime struct {
+	cfg   Config
+	rng   *rand.Rand
+	procs []*procState
+	steps int
+	seq   int
+	trace Trace
+}
+
+func (rt *runtime) enabled() []int {
+	var ids []int
+	for i, p := range rt.procs {
+		if p.pending {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// step applies process id's pending invocation as one atomic step.
+func (rt *runtime) step(id int) error {
+	p := rt.procs[id]
+	obj, ok := rt.cfg.Objects[p.inv.obj]
+	if !ok {
+		return fmt.Errorf("%w: %q (process %d)", ErrUnknownObject, p.inv.obj, id)
+	}
+	var choice RandSource = rt.rng
+	if rt.cfg.Choice != nil {
+		choice = rt.cfg.Choice
+	}
+	env := &Env{Proc: id, Step: rt.steps, Rand: choice}
+	resp, err := applyObject(obj, env, p.inv)
+	if err != nil {
+		return err
+	}
+	rt.steps++
+	p.pending = false
+	rt.record(Event{
+		Kind:   EventStep,
+		Proc:   id,
+		Object: p.inv.obj,
+		Op:     p.inv.inv.Op,
+		Args:   p.inv.inv.Args,
+		Out:    resp.Value,
+		Hang:   resp.Effect == Hang,
+	})
+	if resp.Effect == Hang {
+		p.status = StatusHung
+		rt.abort(p)
+		return nil
+	}
+	p.resCh <- resume{value: resp.Value}
+	return rt.settle(id)
+}
+
+// applyObject applies the invocation, converting an object panic into an
+// *ObjectPanicError.
+func applyObject(obj Object, env *Env, m message) (resp Response, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &ObjectPanicError{Object: m.obj, Op: m.inv.Op, Value: r}
+		}
+	}()
+	resp = obj.Apply(env, m.inv)
+	return resp, nil
+}
+
+// settle reads messages from process id until it parks at an invocation,
+// finishes, or fails.
+func (rt *runtime) settle(id int) error {
+	p := rt.procs[id]
+	for {
+		m := <-p.msgCh
+		switch m.kind {
+		case msgInvoke:
+			p.pending = true
+			p.inv = m
+			return nil
+		case msgMark:
+			rt.record(Event{
+				Kind:   m.markKind,
+				Proc:   id,
+				Object: m.obj,
+				Op:     m.inv.Op,
+				Args:   m.inv.Args,
+				Out:    m.markOut,
+			})
+		case msgDone:
+			p.status = StatusDone
+			p.output = m.out
+			p.live = false
+			return nil
+		case msgPanic:
+			p.status = StatusFailed
+			p.live = false
+			return fmt.Errorf("%w: process %d: %v", ErrProgramPanic, id, m.err)
+		}
+	}
+}
+
+func (rt *runtime) record(e Event) {
+	if rt.cfg.DisableTrace {
+		return
+	}
+	e.Seq = rt.seq
+	rt.seq++
+	rt.trace.Events = append(rt.trace.Events, e)
+}
+
+// abort terminates a live process goroutine that is blocked waiting for a
+// resume. The goroutine unwinds via abortSignal and exits silently.
+func (rt *runtime) abort(p *procState) {
+	if !p.live {
+		return
+	}
+	p.live = false
+	p.resCh <- resume{abort: true}
+}
+
+func (rt *runtime) abortAll() {
+	for _, p := range rt.procs {
+		if p.live && p.pending {
+			p.pending = false
+			rt.abort(p)
+		}
+	}
+}
+
+func (rt *runtime) result(enabledAtStop []int) *Result {
+	res := &Result{
+		Outputs: make([]Value, len(rt.procs)),
+		Status:  make([]ProcStatus, len(rt.procs)),
+		Enabled: enabledAtStop,
+		Steps:   rt.steps,
+		Trace:   rt.trace,
+	}
+	for i, p := range rt.procs {
+		res.Outputs[i] = p.output
+		res.Status[i] = p.status
+	}
+	return res
+}
+
+// runProgram is the per-process goroutine body.
+func runProgram(id int, prog Program, p *procState) {
+	ctx := &Ctx{id: id, msg: p.msgCh, res: p.resCh}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); ok {
+				return // aborted by the runtime; exit silently
+			}
+			p.msgCh <- message{kind: msgPanic, err: r}
+		}
+	}()
+	out := prog(ctx)
+	p.msgCh <- message{kind: msgDone, out: out}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EventKind distinguishes the three kinds of trace events.
+type EventKind int
+
+const (
+	// EventStep records one atomic operation applied to a base object.
+	EventStep EventKind = iota
+	// EventCall marks the start of a logical (implemented) operation. It is
+	// emitted by algorithm code via Ctx.BeginOp and consumed by the
+	// linearizability checker.
+	EventCall
+	// EventReturn marks the end of a logical operation (Ctx.EndOp).
+	EventReturn
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventStep:
+		return "step"
+	case EventCall:
+		return "call"
+	case EventReturn:
+		return "return"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry of a run's trace. Seq is a global, strictly increasing
+// sequence number over all events; events of kind EventStep additionally
+// consume a scheduler step.
+type Event struct {
+	Seq    int
+	Kind   EventKind
+	Proc   int
+	Object string
+	Op     string
+	Args   []Value
+	Out    Value
+	Hang   bool
+}
+
+// String renders the event compactly, e.g. "12 P3 step R[1].write(5) -> <nil>".
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d P%d %s %s.%s", e.Seq, e.Proc, e.Kind, e.Object, Invocation{Op: e.Op, Args: e.Args})
+	switch {
+	case e.Hang:
+		b.WriteString(" -> HANG")
+	case e.Kind != EventCall:
+		fmt.Fprintf(&b, " -> %v", e.Out)
+	}
+	return b.String()
+}
+
+// Trace is the ordered record of a run.
+type Trace struct {
+	Events []Event
+}
+
+// Len returns the number of recorded events.
+func (t Trace) Len() int { return len(t.Events) }
+
+// Steps returns the number of atomic steps (EventStep events) recorded.
+func (t Trace) Steps() int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Kind == EventStep {
+			n++
+		}
+	}
+	return n
+}
+
+// ByObject returns the sub-trace of events touching the named object,
+// preserving order.
+func (t Trace) ByObject(name string) Trace {
+	var out Trace
+	for _, e := range t.Events {
+		if e.Object == name {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
+// ByProc returns the sub-trace of events issued by process id.
+func (t Trace) ByProc(id int) Trace {
+	var out Trace
+	for _, e := range t.Events {
+		if e.Proc == id {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
+// String renders the whole trace, one event per line.
+func (t Trace) String() string {
+	var b strings.Builder
+	for _, e := range t.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

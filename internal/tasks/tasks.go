@@ -1,0 +1,248 @@
+// Package tasks defines the distributed tasks of the paper — consensus,
+// k-set consensus, k-set election, strong set election, and M-to-(2k−1)
+// renaming — as checkers over the inputs and outputs of a run. A task
+// specifies which combinations of output values are allowed given the
+// inputs of the participating processes; checkers judge decision vectors
+// and never inspect algorithm internals, so algorithms cannot
+// self-certify.
+package tasks
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"detobj/internal/sim"
+)
+
+// ErrViolation is wrapped by every checker failure, so callers can test
+// errors.Is(err, ErrViolation).
+var ErrViolation = errors.New("task violation")
+
+// Outcome is the judged artifact of a run: the inputs of participating
+// processes and the outputs of those that decided. Processes that hang or
+// are stopped simply have no entry in Outputs; a wait-free solution must
+// eventually give every participant an entry, which callers enforce
+// separately via sim.Result.AllDone.
+type Outcome struct {
+	Inputs  map[int]sim.Value
+	Outputs map[int]sim.Value
+}
+
+// Participants returns the ids of participating processes in increasing
+// order.
+func (o Outcome) Participants() []int {
+	ids := make([]int, 0, len(o.Inputs))
+	for id := range o.Inputs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// DistinctOutputs returns the number of distinct decided values.
+func (o Outcome) DistinctOutputs() int {
+	seen := make(map[sim.Value]struct{}, len(o.Outputs))
+	for _, v := range o.Outputs {
+		seen[v] = struct{}{}
+	}
+	return len(seen)
+}
+
+// OutcomeFromResult assembles an Outcome from a run result and the input
+// vector, taking outputs from processes with StatusDone. participants maps
+// process index to its input value.
+func OutcomeFromResult(res *sim.Result, participants map[int]sim.Value) Outcome {
+	o := Outcome{Inputs: participants, Outputs: make(map[int]sim.Value)}
+	for id, v := range res.Decided() {
+		if _, ok := participants[id]; ok {
+			o.Outputs[id] = v
+		}
+	}
+	return o
+}
+
+// Task is a decision task: a predicate over outcomes.
+type Task interface {
+	// Name identifies the task, e.g. "(5,4)-set consensus".
+	Name() string
+	// Check returns nil if the outcome satisfies the task specification,
+	// or an error wrapping ErrViolation describing the first violation.
+	Check(o Outcome) error
+}
+
+// SetConsensus is the k-set consensus task: every output is the input of
+// some participant (validity) and at most K distinct values are output
+// (k-agreement). K = 1 is the consensus task.
+type SetConsensus struct {
+	K int
+}
+
+// Consensus returns the consensus task (1-set consensus).
+func Consensus() SetConsensus { return SetConsensus{K: 1} }
+
+// Name implements Task.
+func (s SetConsensus) Name() string {
+	if s.K == 1 {
+		return "consensus"
+	}
+	return fmt.Sprintf("%d-set consensus", s.K)
+}
+
+// Check implements Task.
+func (s SetConsensus) Check(o Outcome) error {
+	proposed := make(map[sim.Value]struct{}, len(o.Inputs))
+	for _, v := range o.Inputs {
+		proposed[v] = struct{}{}
+	}
+	for id, v := range o.Outputs {
+		if _, ok := proposed[v]; !ok {
+			return fmt.Errorf("%w: validity: process %d decided %v, which no participant proposed", ErrViolation, id, v)
+		}
+	}
+	if d := o.DistinctOutputs(); d > s.K {
+		return fmt.Errorf("%w: agreement: %d distinct decisions, task allows at most %d", ErrViolation, d, s.K)
+	}
+	return nil
+}
+
+// Election is the k-set election task: k-set consensus in which every
+// process proposes its own identifier, so outputs must be identifiers of
+// participants and at most K distinct identifiers are elected.
+type Election struct {
+	K int
+}
+
+// Name implements Task.
+func (e Election) Name() string { return fmt.Sprintf("%d-set election", e.K) }
+
+// Check implements Task.
+func (e Election) Check(o Outcome) error {
+	for id, v := range o.Outputs {
+		elected, ok := v.(int)
+		if !ok {
+			return fmt.Errorf("%w: election: process %d elected non-identifier %v", ErrViolation, id, v)
+		}
+		if _, participating := o.Inputs[elected]; !participating {
+			return fmt.Errorf("%w: election: process %d elected %d, which is not a participant", ErrViolation, id, elected)
+		}
+	}
+	if d := o.DistinctOutputs(); d > e.K {
+		return fmt.Errorf("%w: election: %d distinct leaders, task allows at most %d", ErrViolation, d, e.K)
+	}
+	return nil
+}
+
+// StrongElection is the k-strong set election task: k-set election with
+// the self-election property — if some process decides on p, then p (if it
+// decided) decided on itself.
+type StrongElection struct {
+	K int
+}
+
+// Name implements Task.
+func (s StrongElection) Name() string { return fmt.Sprintf("%d-strong set election", s.K) }
+
+// Check implements Task.
+func (s StrongElection) Check(o Outcome) error {
+	if err := (Election{K: s.K}).Check(o); err != nil {
+		return err
+	}
+	for id, v := range o.Outputs {
+		elected := v.(int)
+		if out, ok := o.Outputs[elected]; ok && out != elected {
+			return fmt.Errorf("%w: self-election: process %d elected %d, but %d elected %v", ErrViolation, id, elected, elected, out)
+		}
+	}
+	return nil
+}
+
+// Renaming is the M-renaming task: participants acquire pairwise distinct
+// names in {0, ..., Names-1}. Inputs are the original identifiers.
+type Renaming struct {
+	Names int
+}
+
+// Name implements Task.
+func (r Renaming) Name() string { return fmt.Sprintf("renaming into %d names", r.Names) }
+
+// Check implements Task.
+func (r Renaming) Check(o Outcome) error {
+	taken := make(map[int]int, len(o.Outputs))
+	for id, v := range o.Outputs {
+		name, ok := v.(int)
+		if !ok {
+			return fmt.Errorf("%w: renaming: process %d produced non-integer name %v", ErrViolation, id, v)
+		}
+		if name < 0 || name >= r.Names {
+			return fmt.Errorf("%w: renaming: process %d took name %d outside [0,%d)", ErrViolation, id, name, r.Names)
+		}
+		if prev, dup := taken[name]; dup {
+			return fmt.Errorf("%w: renaming: processes %d and %d both took name %d", ErrViolation, prev, id, name)
+		}
+		taken[name] = id
+	}
+	return nil
+}
+
+// ImmediateSnapshot is the one-shot immediate snapshot task: each
+// participant p outputs a view V_p (a map from participant id to input
+// value) such that
+//
+//	self-inclusion:  p ∈ V_p with p's own input;
+//	validity:        every entry of V_p is some participant's input;
+//	containment:     any two views are ordered by inclusion;
+//	immediacy:       q ∈ V_p implies V_q ⊆ V_p (for decided q).
+//
+// Immediate snapshots are the iterated building block of the BG
+// simulation, which underlies the reductions the paper cites.
+type ImmediateSnapshot struct{}
+
+// Name implements Task.
+func (ImmediateSnapshot) Name() string { return "immediate snapshot" }
+
+// Check implements Task.
+func (ImmediateSnapshot) Check(o Outcome) error {
+	views := make(map[int]map[int]sim.Value, len(o.Outputs))
+	for id, raw := range o.Outputs {
+		view, ok := raw.(map[int]sim.Value)
+		if !ok {
+			return fmt.Errorf("%w: immediate snapshot: process %d output %T, want a view", ErrViolation, id, raw)
+		}
+		views[id] = view
+		if got, ok := view[id]; !ok || got != o.Inputs[id] {
+			return fmt.Errorf("%w: immediate snapshot: process %d's view misses itself (%v)", ErrViolation, id, view)
+		}
+		for q, v := range view {
+			in, ok := o.Inputs[q]
+			if !ok {
+				return fmt.Errorf("%w: immediate snapshot: process %d saw non-participant %d", ErrViolation, id, q)
+			}
+			if v != in {
+				return fmt.Errorf("%w: immediate snapshot: process %d saw %v for %d, input was %v", ErrViolation, id, v, q, in)
+			}
+		}
+	}
+	for p, vp := range views {
+		for q, vq := range views {
+			if !viewSubset(vp, vq) && !viewSubset(vq, vp) {
+				return fmt.Errorf("%w: immediate snapshot: views of %d and %d incomparable", ErrViolation, p, q)
+			}
+		}
+		for q := range vp {
+			if vq, decided := views[q]; decided && !viewSubset(vq, vp) {
+				return fmt.Errorf("%w: immediate snapshot: immediacy: %d ∈ V_%d but V_%d ⊄ V_%d", ErrViolation, q, p, q, p)
+			}
+		}
+	}
+	return nil
+}
+
+func viewSubset(a, b map[int]sim.Value) bool {
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}

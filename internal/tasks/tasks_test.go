@@ -1,0 +1,284 @@
+package tasks
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"detobj/internal/sim"
+)
+
+func outcome(inputs map[int]sim.Value, outputs map[int]sim.Value) Outcome {
+	return Outcome{Inputs: inputs, Outputs: outputs}
+}
+
+func TestSetConsensusValid(t *testing.T) {
+	o := outcome(
+		map[int]sim.Value{0: "a", 1: "b", 2: "c"},
+		map[int]sim.Value{0: "a", 1: "a", 2: "b"},
+	)
+	if err := (SetConsensus{K: 2}).Check(o); err != nil {
+		t.Errorf("valid outcome rejected: %v", err)
+	}
+}
+
+func TestSetConsensusValidityViolation(t *testing.T) {
+	o := outcome(
+		map[int]sim.Value{0: "a", 1: "b"},
+		map[int]sim.Value{0: "z"},
+	)
+	err := (SetConsensus{K: 2}).Check(o)
+	if !errors.Is(err, ErrViolation) {
+		t.Fatalf("err = %v, want ErrViolation", err)
+	}
+	if !strings.Contains(err.Error(), "validity") {
+		t.Errorf("error does not mention validity: %v", err)
+	}
+}
+
+func TestSetConsensusAgreementViolation(t *testing.T) {
+	o := outcome(
+		map[int]sim.Value{0: 1, 1: 2, 2: 3},
+		map[int]sim.Value{0: 1, 1: 2, 2: 3},
+	)
+	if err := (SetConsensus{K: 2}).Check(o); !errors.Is(err, ErrViolation) {
+		t.Fatalf("3 distinct outputs passed a 2-set consensus check")
+	}
+	if err := (SetConsensus{K: 3}).Check(o); err != nil {
+		t.Errorf("3 distinct outputs rejected by 3-set consensus: %v", err)
+	}
+}
+
+func TestConsensusTask(t *testing.T) {
+	c := Consensus()
+	if c.K != 1 || c.Name() != "consensus" {
+		t.Errorf("Consensus() = %+v (%q)", c, c.Name())
+	}
+	o := outcome(map[int]sim.Value{0: 5, 1: 9}, map[int]sim.Value{0: 5, 1: 9})
+	if err := c.Check(o); !errors.Is(err, ErrViolation) {
+		t.Error("disagreement passed consensus check")
+	}
+}
+
+func TestSetConsensusPartialOutputsAllowed(t *testing.T) {
+	// Processes that have not decided are simply absent from Outputs.
+	o := outcome(map[int]sim.Value{0: 1, 1: 2}, map[int]sim.Value{1: 2})
+	if err := (SetConsensus{K: 1}).Check(o); err != nil {
+		t.Errorf("partial outcome rejected: %v", err)
+	}
+}
+
+func TestElection(t *testing.T) {
+	o := outcome(
+		map[int]sim.Value{3: 3, 5: 5, 9: 9},
+		map[int]sim.Value{3: 5, 5: 5, 9: 9},
+	)
+	if err := (Election{K: 2}).Check(o); err != nil {
+		t.Errorf("valid election rejected: %v", err)
+	}
+	bad := outcome(map[int]sim.Value{3: 3}, map[int]sim.Value{3: 4})
+	if err := (Election{K: 2}).Check(bad); !errors.Is(err, ErrViolation) {
+		t.Error("electing a non-participant passed")
+	}
+	nonID := outcome(map[int]sim.Value{3: 3}, map[int]sim.Value{3: "x"})
+	if err := (Election{K: 2}).Check(nonID); !errors.Is(err, ErrViolation) {
+		t.Error("non-identifier output passed election check")
+	}
+}
+
+func TestStrongElection(t *testing.T) {
+	ok := outcome(
+		map[int]sim.Value{0: 0, 1: 1, 2: 2},
+		map[int]sim.Value{0: 1, 1: 1, 2: 2},
+	)
+	if err := (StrongElection{K: 2}).Check(ok); err != nil {
+		t.Errorf("valid strong election rejected: %v", err)
+	}
+	// Process 0 elects 1, but 1 elected 2: self-election violated.
+	bad := outcome(
+		map[int]sim.Value{0: 0, 1: 1, 2: 2},
+		map[int]sim.Value{0: 1, 1: 2, 2: 2},
+	)
+	err := (StrongElection{K: 2}).Check(bad)
+	if !errors.Is(err, ErrViolation) || !strings.Contains(err.Error(), "self-election") {
+		t.Errorf("self-election violation not caught: %v", err)
+	}
+}
+
+func TestStrongElectionUndecidedLeaderAllowed(t *testing.T) {
+	// The elected process has not decided yet; only decided outputs are
+	// checked against self-election.
+	o := outcome(
+		map[int]sim.Value{0: 0, 1: 1},
+		map[int]sim.Value{0: 1},
+	)
+	if err := (StrongElection{K: 1}).Check(o); err != nil {
+		t.Errorf("outcome with undecided leader rejected: %v", err)
+	}
+}
+
+func TestRenaming(t *testing.T) {
+	ok := outcome(
+		map[int]sim.Value{10: 10, 20: 20, 30: 30},
+		map[int]sim.Value{10: 0, 20: 4, 30: 2},
+	)
+	if err := (Renaming{Names: 5}).Check(ok); err != nil {
+		t.Errorf("valid renaming rejected: %v", err)
+	}
+	dup := outcome(
+		map[int]sim.Value{10: 10, 20: 20},
+		map[int]sim.Value{10: 1, 20: 1},
+	)
+	if err := (Renaming{Names: 5}).Check(dup); !errors.Is(err, ErrViolation) {
+		t.Error("duplicate names passed renaming check")
+	}
+	out := outcome(map[int]sim.Value{10: 10}, map[int]sim.Value{10: 5})
+	if err := (Renaming{Names: 5}).Check(out); !errors.Is(err, ErrViolation) {
+		t.Error("out-of-range name passed renaming check")
+	}
+	bad := outcome(map[int]sim.Value{10: 10}, map[int]sim.Value{10: "n"})
+	if err := (Renaming{Names: 5}).Check(bad); !errors.Is(err, ErrViolation) {
+		t.Error("non-integer name passed renaming check")
+	}
+}
+
+func TestOutcomeParticipants(t *testing.T) {
+	o := outcome(map[int]sim.Value{5: 1, 2: 2, 9: 3}, nil)
+	got := o.Participants()
+	want := []int{2, 5, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Participants = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOutcomeFromResult(t *testing.T) {
+	res := &sim.Result{
+		Outputs: []sim.Value{"a", "b", "c"},
+		Status:  []sim.ProcStatus{sim.StatusDone, sim.StatusHung, sim.StatusDone},
+	}
+	participants := map[int]sim.Value{0: "in0", 1: "in1", 2: "in2"}
+	o := OutcomeFromResult(res, participants)
+	if len(o.Outputs) != 2 {
+		t.Fatalf("outputs = %v, want 2 entries", o.Outputs)
+	}
+	if o.Outputs[0] != "a" || o.Outputs[2] != "c" {
+		t.Errorf("outputs = %v", o.Outputs)
+	}
+	if _, ok := o.Outputs[1]; ok {
+		t.Error("hung process contributed an output")
+	}
+}
+
+func TestOutcomeFromResultIgnoresNonParticipants(t *testing.T) {
+	res := &sim.Result{
+		Outputs: []sim.Value{"a", "b"},
+		Status:  []sim.ProcStatus{sim.StatusDone, sim.StatusDone},
+	}
+	o := OutcomeFromResult(res, map[int]sim.Value{1: "in1"})
+	if len(o.Outputs) != 1 {
+		t.Errorf("outputs = %v, want only process 1", o.Outputs)
+	}
+}
+
+func TestTaskNames(t *testing.T) {
+	cases := []struct {
+		task Task
+		want string
+	}{
+		{SetConsensus{K: 3}, "3-set consensus"},
+		{Election{K: 2}, "2-set election"},
+		{StrongElection{K: 2}, "2-strong set election"},
+		{Renaming{Names: 5}, "renaming into 5 names"},
+	}
+	for _, c := range cases {
+		if got := c.task.Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestQuickSetConsensusDistinctBound: for random outcomes whose outputs
+// copy some participant's input, the checker accepts iff the number of
+// distinct outputs is at most K.
+func TestQuickSetConsensusDistinctBound(t *testing.T) {
+	f := func(rawK uint8, picks []uint8) bool {
+		k := int(rawK%4) + 1
+		inputs := map[int]sim.Value{}
+		for i := 0; i < 8; i++ {
+			inputs[i] = i * 10
+		}
+		outputs := map[int]sim.Value{}
+		for i, p := range picks {
+			if i >= 8 {
+				break
+			}
+			outputs[i] = int(p%8) * 10
+		}
+		o := outcome(inputs, outputs)
+		err := (SetConsensus{K: k}).Check(o)
+		if o.DistinctOutputs() <= k {
+			return err == nil
+		}
+		return errors.Is(err, ErrViolation)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImmediateSnapshotChecker(t *testing.T) {
+	task := ImmediateSnapshot{}
+	view := func(pairs ...any) map[int]sim.Value {
+		m := map[int]sim.Value{}
+		for i := 0; i+1 < len(pairs); i += 2 {
+			m[pairs[i].(int)] = pairs[i+1]
+		}
+		return m
+	}
+	inputs := map[int]sim.Value{0: "a", 1: "b", 2: "c"}
+
+	ok := outcome(inputs, map[int]sim.Value{
+		0: view(0, "a"),
+		1: view(0, "a", 1, "b"),
+		2: view(0, "a", 1, "b", 2, "c"),
+	})
+	if err := task.Check(ok); err != nil {
+		t.Errorf("valid IS outcome rejected: %v", err)
+	}
+
+	cases := map[string]Outcome{
+		"missing self": outcome(inputs, map[int]sim.Value{
+			0: view(1, "b"),
+		}),
+		"wrong value": outcome(inputs, map[int]sim.Value{
+			0: view(0, "z"),
+		}),
+		"non participant": outcome(inputs, map[int]sim.Value{
+			0: view(0, "a", 9, "x"),
+		}),
+		"incomparable": outcome(inputs, map[int]sim.Value{
+			0: view(0, "a", 1, "b"),
+			2: view(2, "c", 1, "b"),
+		}),
+		"immediacy": outcome(inputs, map[int]sim.Value{
+			// 1 sees 0, but 0's view {0,1,2} is larger than 1's {0,1}:
+			// containment holds pairwise ordered, immediacy broken.
+			0: view(0, "a", 1, "b", 2, "c"),
+			1: view(0, "a", 1, "b"),
+		}),
+		"not a view": outcome(inputs, map[int]sim.Value{
+			0: "scalar",
+		}),
+	}
+	for name, o := range cases {
+		if err := task.Check(o); !errors.Is(err, ErrViolation) {
+			t.Errorf("%s: err = %v, want ErrViolation", name, err)
+		}
+	}
+	if task.Name() != "immediate snapshot" {
+		t.Error("Name mismatch")
+	}
+}

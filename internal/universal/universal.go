@@ -1,0 +1,154 @@
+// Package universal implements Herlihy's wait-free universal construction,
+// the other pillar of the consensus hierarchy the paper builds on:
+// n-consensus objects are universal for n processes — any sequentially
+// specified object has a wait-free linearizable implementation from
+// consensus objects and registers (Herlihy 1991, cited in the paper's
+// introduction).
+//
+// The construction maintains a log of operations agreed one slot at a
+// time through n-bounded consensus cells. A process announces its
+// pending operation, then walks the log: at slot s it proposes either
+// the announced operation of process (s mod n) — helping, which is what
+// makes the construction wait-free — or its own. Every process replays
+// the same log against the sequential specification, so all copies of
+// the object state agree, and an operation's result is its output at the
+// log position where it was decided.
+//
+// The paper's results are exactly about where this construction's power
+// runs out: below consensus number 2 no such universality exists, yet the
+// WRN objects show the space between registers and 2-consensus is still
+// infinitely structured.
+package universal
+
+import (
+	"fmt"
+
+	"detobj/internal/consensus"
+	"detobj/internal/linearize"
+	"detobj/internal/registers"
+	"detobj/internal/sim"
+)
+
+// Tag uniquely identifies one operation instance.
+type Tag struct {
+	Proc int
+	Seq  int
+}
+
+// announced is a pending operation published in a process's announce
+// register.
+type announced struct {
+	Tag  Tag
+	Name string
+	Args []sim.Value
+}
+
+// Construction is the shared part of one universal object: announce
+// registers and the cell log. Each process interacts through its own
+// Session.
+type Construction struct {
+	n        int
+	maxCells int
+	spec     linearize.Spec
+	announce []registers.Ref
+	cellName string
+}
+
+// New registers the shared state of a universal object for n processes
+// under the name prefix: n announce registers and maxCells consensus
+// cells (each with a propose budget of n). spec is the object's
+// sequential specification. maxCells bounds the total operation slots; a
+// run that exceeds it fails loudly with sim.ErrUnknownObject.
+func New(objects map[string]sim.Object, name string, n, maxCells int, spec linearize.Spec) Construction {
+	if n < 1 || maxCells < 1 {
+		panic(fmt.Sprintf("universal: n = %d, maxCells = %d", n, maxCells))
+	}
+	if spec.Init == nil || spec.Apply == nil {
+		panic("universal: spec needs Init and Apply")
+	}
+	u := Construction{
+		n:        n,
+		maxCells: maxCells,
+		spec:     spec,
+		announce: registers.AddRegisterArray(objects, name+".ann", n, nil),
+		cellName: name + ".cell",
+	}
+	for s := 0; s < maxCells; s++ {
+		objects[sim.Indexed(u.cellName, s)] = consensus.NewCell(n)
+	}
+	return u
+}
+
+// N returns the number of processes the object serves.
+func (u Construction) N() int { return u.n }
+
+// Session is one process's handle: its local replay of the log and its
+// operation counter. Sessions are process-local; never share one.
+type Session struct {
+	u       Construction
+	proc    int
+	count   int
+	state   any
+	cellPos int
+	inLog   map[Tag]bool
+	logLen  int
+}
+
+// NewSession returns process proc's session.
+func (u Construction) NewSession(proc int) *Session {
+	if proc < 0 || proc >= u.n {
+		panic(fmt.Sprintf("universal: process %d outside [0,%d)", proc, u.n))
+	}
+	return &Session{
+		u:     u,
+		proc:  proc,
+		state: u.spec.Init(),
+		inLog: make(map[Tag]bool),
+	}
+}
+
+// Steps returns how many log cells this session has consumed, for
+// wait-freedom assertions in tests.
+func (s *Session) Steps() int { return s.cellPos }
+
+// Apply performs one operation on the universal object and returns its
+// result. It is wait-free: helping guarantees the operation enters the
+// log within a bounded number of slots after its announcement, no matter
+// how the scheduler behaves.
+func (s *Session) Apply(ctx *sim.Ctx, opName string, args ...sim.Value) sim.Value {
+	s.count++
+	my := announced{Tag: Tag{Proc: s.proc, Seq: s.count}, Name: opName, Args: args}
+	s.u.announce[s.proc].Write(ctx, my)
+
+	for {
+		// Helping: prefer the announced operation of the slot's priority
+		// process if it is not yet in the log.
+		candidate := my
+		priority := s.cellPos % s.u.n
+		if raw := s.u.announce[priority].Read(ctx); raw != nil {
+			if ann := raw.(announced); !s.inLog[ann.Tag] {
+				candidate = ann
+			}
+		}
+		cell := consensus.CellRef{Name: sim.Indexed(s.u.cellName, s.cellPos)}
+		winner := cell.Propose(ctx, candidate).(announced)
+		s.cellPos++
+		if s.inLog[winner.Tag] {
+			continue // a duplicate win; the slot is skipped by everyone
+		}
+		s.inLog[winner.Tag] = true
+		s.logLen++
+		var out sim.Value
+		s.state, out = s.u.spec.Apply(s.state, winner.Name, winner.Args)
+		if winner.Tag == my.Tag {
+			return out
+		}
+	}
+}
+
+// State returns the session's current replayed state, for tests.
+func (s *Session) State() any { return s.state }
+
+// LogLen returns the number of distinct operations this session has
+// replayed.
+func (s *Session) LogLen() int { return s.logLen }

@@ -1,0 +1,300 @@
+package universal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"detobj/internal/linearize"
+	"detobj/internal/modelcheck"
+	"detobj/internal/sim"
+	"detobj/internal/tasks"
+	"detobj/internal/wrn"
+)
+
+// counterSpec is an inc/read counter sequential specification.
+func counterSpec() linearize.Spec {
+	return linearize.Spec{
+		Init: func() any { return 0 },
+		Apply: func(state any, name string, args []sim.Value) (any, sim.Value) {
+			n := state.(int)
+			switch name {
+			case "inc":
+				return n + 1, n + 1
+			case "read":
+				return n, n
+			default:
+				panic("unknown op " + name)
+			}
+		},
+	}
+}
+
+// runUniversalCounter runs n processes, each performing `ops` increments
+// (traced as logical operations), and returns the result.
+func runUniversalCounter(t *testing.T, n, ops int, sched sim.Scheduler) *sim.Result {
+	t.Helper()
+	objects := map[string]sim.Object{}
+	u := New(objects, "U", n, n*ops+2*n, counterSpec())
+	progs := make([]sim.Program, n)
+	for p := 0; p < n; p++ {
+		p := p
+		progs[p] = func(ctx *sim.Ctx) sim.Value {
+			sess := u.NewSession(p)
+			var last sim.Value
+			for o := 0; o < ops; o++ {
+				ctx.BeginOp("CTR", "inc")
+				last = sess.Apply(ctx, "inc")
+				ctx.EndOp("CTR", "inc", last)
+			}
+			return last
+		}
+	}
+	res, err := sim.Run(sim.Config{Objects: objects, Programs: progs, Scheduler: sched, MaxSteps: 1 << 20})
+	if err != nil {
+		t.Fatalf("n=%d ops=%d: %v", n, ops, err)
+	}
+	if !res.AllDone() {
+		t.Fatalf("n=%d ops=%d: %v", n, ops, res.Status)
+	}
+	return res
+}
+
+// TestUniversalCounterLinearizable: the universal counter's operation
+// history linearizes against the counter specification across many random
+// schedules (E15: Herlihy universality).
+func TestUniversalCounterLinearizable(t *testing.T) {
+	spec := counterSpec()
+	for seed := int64(0); seed < 40; seed++ {
+		res := runUniversalCounter(t, 3, 2, sim.NewRandom(seed))
+		ops := linearize.Ops(res.Trace, "CTR")
+		if len(ops) != 6 {
+			t.Fatalf("seed %d: %d ops", seed, len(ops))
+		}
+		if !linearize.Check(spec, ops).OK {
+			t.Fatalf("seed %d: universal counter not linearizable:\n%v", seed, ops)
+		}
+	}
+}
+
+// TestUniversalCounterTotal: the inc results across all processes are a
+// permutation-free set — some process observes the final total n*ops.
+func TestUniversalCounterTotal(t *testing.T) {
+	const n, ops = 4, 3
+	res := runUniversalCounter(t, n, ops, sim.NewRandom(9))
+	max := 0
+	for _, out := range res.Outputs {
+		if v := out.(int); v > max {
+			max = v
+		}
+	}
+	if max != n*ops {
+		t.Fatalf("max inc result = %d, want %d", max, n*ops)
+	}
+}
+
+// TestUniversalExhaustiveSmall: every interleaving of 2 processes × 1 inc
+// each yields a linearizable history with results {1,2}.
+func TestUniversalExhaustiveSmall(t *testing.T) {
+	count, err := modelcheck.VerifyAll(func() sim.Config {
+		objects := map[string]sim.Object{}
+		u := New(objects, "U", 2, 6, counterSpec())
+		progs := make([]sim.Program, 2)
+		for p := 0; p < 2; p++ {
+			p := p
+			progs[p] = func(ctx *sim.Ctx) sim.Value {
+				return u.NewSession(p).Apply(ctx, "inc")
+			}
+		}
+		return sim.Config{Objects: objects, Programs: progs}
+	}, 1<<20, func(res *sim.Result) error {
+		if !res.AllDone() {
+			return fmt.Errorf("not wait-free: %v", res.Status)
+		}
+		a, b := res.Outputs[0].(int), res.Outputs[1].(int)
+		if a+b != 3 || a == b {
+			return fmt.Errorf("inc results %d and %d, want {1,2}", a, b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("verified %d executions", count)
+	if count < 10 {
+		t.Fatalf("only %d executions", count)
+	}
+}
+
+// TestUniversalHelpingBoundsStarvedProcess: a process that is scheduled
+// only rarely still completes its operation within a bounded number of
+// log slots, because faster processes decide it on its behalf — the
+// helping mechanism that makes the construction wait-free.
+func TestUniversalHelpingBoundsStarvedProcess(t *testing.T) {
+	const n = 3
+	objects := map[string]sim.Object{}
+	u := New(objects, "U", n, 64, counterSpec())
+	var starvedSlots int
+	progs := make([]sim.Program, n)
+	progs[0] = func(ctx *sim.Ctx) sim.Value {
+		sess := u.NewSession(0)
+		out := sess.Apply(ctx, "inc")
+		starvedSlots = sess.Steps()
+		return out
+	}
+	for p := 1; p < n; p++ {
+		p := p
+		progs[p] = func(ctx *sim.Ctx) sim.Value {
+			sess := u.NewSession(p)
+			var last sim.Value
+			for o := 0; o < 6; o++ {
+				last = sess.Apply(ctx, "inc")
+			}
+			return last
+		}
+	}
+	// Process 0 gets one step out of every eight while others are live.
+	tick := 0
+	sched := sim.Func(func(v sim.View) int {
+		tick++
+		if tick%8 == 0 && v.EnabledSet(0) {
+			return 0
+		}
+		for _, id := range v.Enabled {
+			if id != 0 {
+				return id
+			}
+		}
+		return 0
+	})
+	res, err := sim.Run(sim.Config{Objects: objects, Programs: progs, Scheduler: sched, MaxSteps: 1 << 20})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.AllDone() {
+		t.Fatalf("status: %v", res.Status)
+	}
+	// The starved process consumed few slots: its operation was helped
+	// into the log near its announcement, far below the 13 total ops.
+	if starvedSlots > 2*n+1 {
+		t.Errorf("starved process consumed %d log slots; helping should bound this by ~%d", starvedSlots, 2*n+1)
+	}
+}
+
+// TestUniversalWRN: universality in action — build a WRN_3 object out of
+// consensus cells and run the paper's Algorithm 2 on top of it.
+func TestUniversalWRN(t *testing.T) {
+	const k = 3
+	task := tasks.SetConsensus{K: k - 1}
+	for seed := int64(0); seed < 25; seed++ {
+		objects := map[string]sim.Object{}
+		u := New(objects, "U", k, 4*k, wrn.Spec(k))
+		inputs := map[int]sim.Value{}
+		progs := make([]sim.Program, k)
+		for i := 0; i < k; i++ {
+			i := i
+			v := 100 + i
+			inputs[i] = v
+			progs[i] = func(ctx *sim.Ctx) sim.Value {
+				sess := u.NewSession(i)
+				if t := sess.Apply(ctx, "WRN", i, v); !wrn.IsBottom(t) {
+					return t
+				}
+				return v
+			}
+		}
+		res, err := sim.Run(sim.Config{
+			Objects:   objects,
+			Programs:  progs,
+			Scheduler: sim.NewRandom(seed),
+			MaxSteps:  1 << 18,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.AllDone() {
+			t.Fatalf("seed %d: %v", seed, res.Status)
+		}
+		o := tasks.OutcomeFromResult(res, inputs)
+		if err := task.Check(o); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestUniversalSessionsAgree: sessions replay identical prefixes — after
+// everyone finishes, all states with the same log length agree.
+func TestUniversalSessionsAgree(t *testing.T) {
+	const n = 3
+	objects := map[string]sim.Object{}
+	u := New(objects, "U", n, 32, counterSpec())
+	states := make([]any, n)
+	lens := make([]int, n)
+	progs := make([]sim.Program, n)
+	for p := 0; p < n; p++ {
+		p := p
+		progs[p] = func(ctx *sim.Ctx) sim.Value {
+			sess := u.NewSession(p)
+			sess.Apply(ctx, "inc")
+			sess.Apply(ctx, "inc")
+			states[p] = sess.State()
+			lens[p] = sess.LogLen()
+			return nil
+		}
+	}
+	res, err := sim.Run(sim.Config{Objects: objects, Programs: progs, Scheduler: sim.NewRandom(4), MaxSteps: 1 << 18})
+	if err != nil || !res.AllDone() {
+		t.Fatalf("err=%v status=%v", err, res.Status)
+	}
+	// Each session's replayed counter equals the number of ops it saw.
+	for p := 0; p < n; p++ {
+		if states[p].(int) != lens[p] {
+			t.Errorf("session %d: state %v after %d ops", p, states[p], lens[p])
+		}
+	}
+}
+
+// TestUniversalCellExhaustion: running past maxCells fails loudly rather
+// than corrupting the log.
+func TestUniversalCellExhaustion(t *testing.T) {
+	objects := map[string]sim.Object{}
+	u := New(objects, "U", 1, 2, counterSpec())
+	_, err := sim.Run(sim.Config{
+		Objects: objects,
+		Programs: []sim.Program{func(ctx *sim.Ctx) sim.Value {
+			sess := u.NewSession(0)
+			for i := 0; i < 5; i++ {
+				sess.Apply(ctx, "inc")
+			}
+			return nil
+		}},
+	})
+	if !errors.Is(err, sim.ErrUnknownObject) {
+		t.Fatalf("err = %v, want ErrUnknownObject (cell budget exceeded)", err)
+	}
+}
+
+func TestUniversalValidation(t *testing.T) {
+	objects := map[string]sim.Object{}
+	cases := []func(){
+		func() { New(objects, "x", 0, 4, counterSpec()) },
+		func() { New(objects, "x", 2, 0, counterSpec()) },
+		func() { New(objects, "x", 2, 4, linearize.Spec{}) },
+		func() { New(objects, "y", 2, 4, counterSpec()).NewSession(5) },
+	}
+	for i, f := range cases {
+		f := f
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+	u := New(map[string]sim.Object{}, "ok", 2, 4, counterSpec())
+	if u.N() != 2 {
+		t.Errorf("N = %d", u.N())
+	}
+}

@@ -1,0 +1,144 @@
+package wrn
+
+import (
+	"fmt"
+
+	"detobj/internal/election"
+	"detobj/internal/linearize"
+	"detobj/internal/registers"
+	"detobj/internal/sim"
+	"detobj/internal/snapshot"
+)
+
+// Impl is Algorithm 5: a linearizable implementation of a 1sWRN_k object
+// from a (k, k−1)-strong set election object, a doorway register, and two
+// snapshot arrays. The doorway funnels early invocations through the
+// strong election — whose winners return ⊥ — and the double-snapshot
+// handshake (announce value in R, announce observed view in O) detects the
+// overlap patterns that would otherwise break linearizability (paper §5,
+// Corollary 37).
+type Impl struct {
+	k       int
+	name    string
+	sse     election.StrongRef
+	doorway registers.DoorwayRef
+	r       snapshot.Snapshotter
+	o       snapshot.Snapshotter
+}
+
+// NewImpl registers the shared state of one Algorithm 5 instance under the
+// name prefix and returns the implementation handle, using the primitive
+// snapshot object for R and O.
+func NewImpl(objects map[string]sim.Object, name string, k int) Impl {
+	return NewImplOver(objects, name, k, func(snapName string, n int, initial sim.Value) snapshot.Snapshotter {
+		return snapshot.NewObjectHandle(objects, snapName, n, initial)
+	})
+}
+
+// NewImplFromRegisters builds Algorithm 5 entirely from register power:
+// the R and O arrays are AADGMS snapshot implementations over single-
+// writer registers, so the only non-register primitive in the whole
+// construction is the strong-election object — exactly the paper's
+// hypothesis "from (k,k−1)-strong set election and registers".
+func NewImplFromRegisters(objects map[string]sim.Object, name string, k int) Impl {
+	return NewImplOver(objects, name, k, func(snapName string, n int, initial sim.Value) snapshot.Snapshotter {
+		return snapshot.NewImpl(objects, snapName, n, initial)
+	})
+}
+
+// NewImplOver builds Algorithm 5 with a caller-supplied snapshot factory.
+func NewImplOver(objects map[string]sim.Object, name string, k int, mkSnap func(snapName string, n int, initial sim.Value) snapshot.Snapshotter) Impl {
+	if k < 2 {
+		panic(fmt.Sprintf("wrn: Algorithm 5 needs k >= 2, got %d", k))
+	}
+	objects[name+".sse"] = election.NewStrongObject(k)
+	objects[name+".door"] = registers.NewDoorway()
+	return Impl{
+		k:       k,
+		name:    name,
+		sse:     election.StrongRef{Name: name + ".sse"},
+		doorway: registers.DoorwayRef{Name: name + ".door"},
+		r:       mkSnap(name+".R", k, Bottom),
+		o:       mkSnap(name+".O", k, nil),
+	}
+}
+
+// K returns the arity of the implemented object.
+func (m Impl) K() int { return m.k }
+
+// WRN performs the implemented 1sWRN(i, v) operation. Each index may be
+// used at most once per instance; v must not be ⊥ or nil.
+func (m Impl) WRN(ctx *sim.Ctx, i int, v sim.Value) sim.Value {
+	if i < 0 || i >= m.k {
+		panic(fmt.Sprintf("wrn: index %d outside [0,%d)", i, m.k))
+	}
+	if v == nil || IsBottom(v) {
+		panic("wrn: Algorithm 5 invoked with ⊥ or nil value")
+	}
+	m.r.Update(ctx, i, v) // announce the value at index i
+
+	if m.doorway.IsOpen(ctx) {
+		m.doorway.Close(ctx)
+		if m.sse.Invoke(ctx, i) == i {
+			return Bottom // strong-election winners return ⊥
+		}
+	}
+
+	sr := m.r.Scan(ctx)    // first snapshot: the announced values
+	m.o.Update(ctx, i, sr) // publish the observed view
+	so := m.o.Scan(ctx)    // second snapshot: everyone's published views
+
+	succ := (i + 1) % m.k
+	for j := 0; j < m.k; j++ {
+		view, ok := so[j].([]sim.Value)
+		if !ok {
+			continue // w_j has not published a view
+		}
+		if view[i] == v && IsBottom(view[succ]) {
+			// w_j saw our value but not our successor's: we started
+			// before our successor finished, so returning its value
+			// could create a linearization cycle. Return ⊥.
+			return Bottom
+		}
+	}
+	return sr[succ]
+}
+
+// TracedWRN performs WRN bracketed with BeginOp/EndOp marks on the logical
+// object name, so the run's trace can be checked for linearizability.
+func (m Impl) TracedWRN(ctx *sim.Ctx, i int, v sim.Value) sim.Value {
+	ctx.BeginOp(m.name, "WRN", i, v)
+	out := m.WRN(ctx, i, v)
+	ctx.EndOp(m.name, "WRN", out)
+	return out
+}
+
+// Name returns the logical object name used by TracedWRN.
+func (m Impl) Name() string { return m.name }
+
+// Spec returns the sequential specification of a 1sWRN_k object for the
+// linearizability checker. The state is the cell array; Apply performs
+// Algorithm 1. Histories fed to the checker must use each index at most
+// once (the one-shot restriction), which the caller guarantees.
+func Spec(k int) linearize.Spec {
+	return linearize.Spec{
+		Init: func() any {
+			cells := make([]sim.Value, k)
+			for i := range cells {
+				cells[i] = Bottom
+			}
+			return cells
+		},
+		Apply: func(state any, name string, args []sim.Value) (any, sim.Value) {
+			if name != "WRN" {
+				panic("wrn: spec applied to op " + name)
+			}
+			cells := state.([]sim.Value)
+			next := make([]sim.Value, k)
+			copy(next, cells)
+			i := args[0].(int)
+			next[i] = args[1]
+			return next, next[(i+1)%k]
+		},
+	}
+}

@@ -1,0 +1,167 @@
+package wrn
+
+import (
+	"fmt"
+	"testing"
+
+	"detobj/internal/linearize"
+	"detobj/internal/modelcheck"
+	"detobj/internal/sim"
+)
+
+// TestAlg5ExhaustiveK2 verifies Corollary 37 for k = 2 over EVERY
+// execution: all interleavings of the two invocations and all internal
+// choices of the strong-election object. Every complete history must be
+// wait-free and linearizable.
+func TestAlg5ExhaustiveK2(t *testing.T) {
+	const k = 2
+	spec := Spec(k)
+	factory := func() sim.Config {
+		objects := map[string]sim.Object{}
+		impl := NewImpl(objects, "LW", k)
+		progs := make([]sim.Program, k)
+		for i := 0; i < k; i++ {
+			i := i
+			progs[i] = func(ctx *sim.Ctx) sim.Value {
+				return impl.TracedWRN(ctx, i, 100+i)
+			}
+		}
+		return sim.Config{Objects: objects, Programs: progs}
+	}
+	execs, err := modelcheck.Explore(factory, 1<<20, func(e modelcheck.Execution) error {
+		if !e.Result.AllDone() {
+			return fmt.Errorf("not wait-free: %v", e.Result.Status)
+		}
+		ops := linearize.Ops(e.Result.Trace, "LW")
+		if len(ops) != k {
+			return fmt.Errorf("%d completed ops", len(ops))
+		}
+		if !linearize.Check(spec, ops).OK {
+			return fmt.Errorf("history not linearizable: %v", ops)
+		}
+		// Claim 22: every output is ⊥ or the successor's value.
+		for p := 0; p < k; p++ {
+			out := e.Result.Outputs[p]
+			if !IsBottom(out) && out != 100+(p+1)%k {
+				return fmt.Errorf("process %d returned %v", p, out)
+			}
+		}
+		// Claims 23/24: some ⊥ and, in a complete run, some successor value.
+		bottoms := 0
+		for p := 0; p < k; p++ {
+			if IsBottom(e.Result.Outputs[p]) {
+				bottoms++
+			}
+		}
+		if bottoms == 0 || bottoms == k {
+			return fmt.Errorf("%d of %d invocations returned ⊥", bottoms, k)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The execution tree has exactly 78 leaves, by hand count: 21
+	// interleavings per side where one invocation closes the doorway
+	// before the other reads it (3 + 5·3 with the latecomer's announce
+	// before the close, 6 with it after), plus 18 per side where both
+	// enter the doorway and race the election (gap-vector count with the
+	// constraints d_other < w_self, s_winner < s_loser).
+	if execs != 78 {
+		t.Fatalf("explored %d executions, want 78", execs)
+	}
+}
+
+// TestAlg5ExhaustivePrefixCrashesK2 explores every execution prefix of the
+// k = 2 instance in which one process crashes at an arbitrary point and
+// the other runs solo to completion, checking wait-freedom of the
+// survivor and pending-aware linearizability.
+func TestAlg5ExhaustivePrefixCrashesK2(t *testing.T) {
+	const k = 2
+	spec := Spec(k)
+	for crash := 0; crash < k; crash++ {
+		crash := crash
+		survivor := 1 - crash
+		// Enumerate how many steps the crashing process takes before it
+		// stops (0..10 covers its whole program).
+		for steps := 0; steps <= 10; steps++ {
+			objects := map[string]sim.Object{}
+			impl := NewImpl(objects, "LW", k)
+			progs := make([]sim.Program, k)
+			for i := 0; i < k; i++ {
+				i := i
+				progs[i] = func(ctx *sim.Ctx) sim.Value {
+					return impl.TracedWRN(ctx, i, 100+i)
+				}
+			}
+			// Schedule: the crasher takes `steps` steps, then the survivor
+			// runs alone.
+			order := make([]int, 0, steps)
+			for s := 0; s < steps; s++ {
+				order = append(order, crash)
+			}
+			res, err := sim.Run(sim.Config{
+				Objects:   objects,
+				Programs:  progs,
+				Scheduler: &sim.Fixed{Order: order, Fallback: sim.NewCrashing(nil, crash)},
+				MaxSteps:  1 << 16,
+			})
+			if err != nil {
+				t.Fatalf("crash=%d steps=%d: %v", crash, steps, err)
+			}
+			if res.Status[survivor] != sim.StatusDone {
+				t.Fatalf("crash=%d steps=%d: survivor stuck: %v", crash, steps, res.Status[survivor])
+			}
+			done, pending := linearize.OpsWithPending(res.Trace, "LW")
+			if !linearize.Check(spec, append(done, pending...)).OK {
+				t.Fatalf("crash=%d steps=%d: not linearizable\ncompleted %v\npending %v",
+					crash, steps, done, pending)
+			}
+		}
+	}
+}
+
+// TestAlg5PrefixCrashesK3: for k = 3, one invocation crashes after each
+// possible number of its own steps while the other two run to completion;
+// the survivors must finish and the history (with the crashed pending op)
+// must linearize.
+func TestAlg5PrefixCrashesK3(t *testing.T) {
+	const k = 3
+	spec := Spec(k)
+	for crash := 0; crash < k; crash++ {
+		for steps := 0; steps <= 10; steps++ {
+			objects := map[string]sim.Object{}
+			impl := NewImpl(objects, "LW", k)
+			progs := make([]sim.Program, k)
+			for i := 0; i < k; i++ {
+				i := i
+				progs[i] = func(ctx *sim.Ctx) sim.Value {
+					return impl.TracedWRN(ctx, i, 100+i)
+				}
+			}
+			order := make([]int, steps)
+			for s := range order {
+				order[s] = crash
+			}
+			res, err := sim.Run(sim.Config{
+				Objects:   objects,
+				Programs:  progs,
+				Scheduler: &sim.Fixed{Order: order, Fallback: sim.NewCrashing(sim.NewRoundRobin(), crash)},
+				MaxSteps:  1 << 18,
+			})
+			if err != nil {
+				t.Fatalf("crash=%d steps=%d: %v", crash, steps, err)
+			}
+			for i := 0; i < k; i++ {
+				if i != crash && res.Status[i] != sim.StatusDone {
+					t.Fatalf("crash=%d steps=%d: survivor %d stuck: %v", crash, steps, i, res.Status[i])
+				}
+			}
+			done, pending := linearize.OpsWithPending(res.Trace, "LW")
+			if !linearize.Check(spec, append(done, pending...)).OK {
+				t.Fatalf("crash=%d steps=%d: not linearizable\ndone %v\npending %v",
+					crash, steps, done, pending)
+			}
+		}
+	}
+}

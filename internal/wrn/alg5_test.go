@@ -1,0 +1,310 @@
+package wrn
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"detobj/internal/linearize"
+	"detobj/internal/sim"
+	"detobj/internal/tasks"
+)
+
+// runAlg5 runs one Algorithm 5 instance with k processes, process p using
+// index perm[p] and value 100+perm[p], under the given scheduler, and
+// returns the result and implementation handle.
+func runAlg5(t *testing.T, k int, perm []int, sched sim.Scheduler, seed int64) (*sim.Result, Impl) {
+	t.Helper()
+	objects := map[string]sim.Object{}
+	impl := NewImpl(objects, "LW", k)
+	progs := make([]sim.Program, len(perm))
+	for p, idx := range perm {
+		idx := idx
+		progs[p] = func(ctx *sim.Ctx) sim.Value {
+			return impl.TracedWRN(ctx, idx, 100+idx)
+		}
+	}
+	res, err := sim.Run(sim.Config{
+		Objects:   objects,
+		Programs:  progs,
+		Scheduler: sched,
+		Seed:      seed,
+		MaxSteps:  1 << 18,
+	})
+	if err != nil {
+		t.Fatalf("k=%d: Run: %v", k, err)
+	}
+	return res, impl
+}
+
+// TestAlg5Linearizable (E5, Corollary 37): across many random schedules
+// and nondeterministic election choices, every history of the implemented
+// object linearizes against the 1sWRN_k sequential specification.
+func TestAlg5Linearizable(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 5} {
+		perm := make([]int, k)
+		for i := range perm {
+			perm[i] = i
+		}
+		for seed := int64(0); seed < 60; seed++ {
+			res, impl := runAlg5(t, k, perm, sim.NewRandom(seed), seed*13)
+			if !res.AllDone() {
+				t.Fatalf("k=%d seed=%d: not wait-free: %v", k, seed, res.Status)
+			}
+			ops := linearize.Ops(res.Trace, impl.Name())
+			if len(ops) != k {
+				t.Fatalf("k=%d seed=%d: %d completed ops", k, seed, len(ops))
+			}
+			if r := linearize.Check(Spec(k), ops); !r.OK {
+				t.Fatalf("k=%d seed=%d: history not linearizable:\n%v\ntrace:\n%s",
+					k, seed, ops, res.Trace.ByObject(impl.Name()))
+			}
+		}
+	}
+}
+
+// TestAlg5AdversarialPriorities: solo-run-shaped adversaries preserve
+// linearizability.
+func TestAlg5AdversarialPriorities(t *testing.T) {
+	const k = 3
+	priorities := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 0, 2}, {2, 0, 1}}
+	for _, prio := range priorities {
+		for seed := int64(0); seed < 10; seed++ {
+			res, impl := runAlg5(t, k, []int{0, 1, 2}, sim.Priority(prio), seed)
+			ops := linearize.Ops(res.Trace, impl.Name())
+			if r := linearize.Check(Spec(k), ops); !r.OK {
+				t.Fatalf("prio %v seed %d: not linearizable:\n%v", prio, seed, ops)
+			}
+		}
+	}
+}
+
+// TestAlg5Claim23And24: in every complete run, some invocation returns ⊥
+// (Claim 23) and some invocation returns its successor's value (Claim 24).
+func TestAlg5Claim23And24(t *testing.T) {
+	const k = 4
+	for seed := int64(0); seed < 60; seed++ {
+		res, _ := runAlg5(t, k, []int{0, 1, 2, 3}, sim.NewRandom(seed), seed)
+		bottoms, successors := 0, 0
+		for p := 0; p < k; p++ {
+			out := res.Outputs[p]
+			if IsBottom(out) {
+				bottoms++
+			} else if out == 100+(p+1)%k {
+				successors++
+			} else {
+				t.Fatalf("seed %d: process %d returned %v, not ⊥ or successor's value (Claim 22)", seed, p, out)
+			}
+		}
+		if bottoms == 0 {
+			t.Errorf("seed %d: no invocation returned ⊥ (Claim 23)", seed)
+		}
+		if successors == 0 {
+			t.Errorf("seed %d: no invocation returned its successor's value (Claim 24)", seed)
+		}
+	}
+}
+
+// TestAlg5SequentialChain: invocations running one after another behave
+// exactly like the atomic object.
+func TestAlg5SequentialChain(t *testing.T) {
+	const k = 3
+	objects := map[string]sim.Object{}
+	impl := NewImpl(objects, "LW", k)
+	res, err := sim.Run(sim.Config{
+		Objects: objects,
+		Programs: []sim.Program{func(ctx *sim.Ctx) sim.Value {
+			out := make([]sim.Value, 0, k)
+			// Invoke indices 2, 1, 0 sequentially from a single process:
+			// WRN(2, c) -> A[0] = ⊥; WRN(1, b) -> A[2] = c; WRN(0, a) -> A[1] = b.
+			out = append(out, impl.WRN(ctx, 2, "c"))
+			out = append(out, impl.WRN(ctx, 1, "b"))
+			out = append(out, impl.WRN(ctx, 0, "a"))
+			return out
+		}},
+		MaxSteps: 1 << 16,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := res.Outputs[0].([]sim.Value)
+	if !IsBottom(out[0]) {
+		t.Errorf("WRN(2,c) = %v, want ⊥", out[0])
+	}
+	if out[1] != "c" {
+		t.Errorf("WRN(1,b) = %v, want c", out[1])
+	}
+	if out[2] != "b" {
+		t.Errorf("WRN(0,a) = %v, want b", out[2])
+	}
+}
+
+// TestAlg5DrivesAlg2: composing Algorithm 2 on top of the implemented
+// 1sWRN still solves (k−1)-set consensus — implementations are
+// substitutable for atomic objects.
+func TestAlg5DrivesAlg2(t *testing.T) {
+	const k = 3
+	task := tasks.SetConsensus{K: k - 1}
+	for seed := int64(0); seed < 40; seed++ {
+		objects := map[string]sim.Object{}
+		impl := NewImpl(objects, "LW", k)
+		inputs := map[int]sim.Value{}
+		progs := make([]sim.Program, k)
+		for i := 0; i < k; i++ {
+			i := i
+			v := fmt.Sprintf("v%d", i)
+			inputs[i] = v
+			progs[i] = func(ctx *sim.Ctx) sim.Value {
+				if t := impl.WRN(ctx, i, v); !IsBottom(t) {
+					return t
+				}
+				return v
+			}
+		}
+		res, err := sim.Run(sim.Config{
+			Objects:   objects,
+			Programs:  progs,
+			Scheduler: sim.NewRandom(seed),
+			Seed:      seed,
+			MaxSteps:  1 << 18,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.AllDone() {
+			t.Fatalf("seed %d: %v", seed, res.Status)
+		}
+		o := tasks.OutcomeFromResult(res, inputs)
+		if err := task.Check(o); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestAlg5Validation(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func()
+	}{
+		{"small k", func() { NewImpl(map[string]sim.Object{}, "X", 1) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", c.name)
+				}
+			}()
+			c.run()
+		})
+	}
+}
+
+func TestAlg5ArgumentValidation(t *testing.T) {
+	for _, bad := range []struct {
+		name string
+		i    int
+		v    sim.Value
+	}{
+		{"index", 9, "v"},
+		{"bottom", 0, Bottom},
+		{"nil", 0, nil},
+	} {
+		bad := bad
+		t.Run(bad.name, func(t *testing.T) {
+			objects := map[string]sim.Object{}
+			impl := NewImpl(objects, "LW", 3)
+			_, err := sim.Run(sim.Config{
+				Objects: objects,
+				Programs: []sim.Program{func(ctx *sim.Ctx) sim.Value {
+					return impl.WRN(ctx, bad.i, bad.v)
+				}},
+			})
+			if !errors.Is(err, sim.ErrProgramPanic) {
+				t.Errorf("%s: err = %v, want ErrProgramPanic", bad.name, err)
+			}
+		})
+	}
+}
+
+// TestSpecMatchesObject: the checker's sequential spec agrees with the
+// atomic object on random op sequences.
+func TestSpecMatchesObject(t *testing.T) {
+	const k = 4
+	spec := Spec(k)
+	obj := New(k)
+	state := spec.Init()
+	env := &sim.Env{}
+	seq := []struct {
+		i int
+		v sim.Value
+	}{{0, "a"}, {2, "b"}, {1, "c"}, {3, "d"}, {0, "e"}}
+	for _, s := range seq {
+		var specOut sim.Value
+		state, specOut = spec.Apply(state, "WRN", []sim.Value{s.i, s.v})
+		objOut := obj.Apply(env, sim.Invocation{Op: "WRN", Args: []sim.Value{s.i, s.v}}).Value
+		if specOut != objOut {
+			t.Fatalf("WRN(%d,%v): spec %v, object %v", s.i, s.v, specOut, objOut)
+		}
+	}
+}
+
+// TestAlg5FromRegistersLinearizable: the paper-exact hypothesis — Algorithm
+// 5 over AADGMS snapshots built from single-writer registers, so the only
+// non-register primitive is the strong-election object. Every history
+// linearizes.
+func TestAlg5FromRegistersLinearizable(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		spec := Spec(k)
+		for seed := int64(0); seed < 30; seed++ {
+			objects := map[string]sim.Object{}
+			impl := NewImplFromRegisters(objects, "LW", k)
+			progs := make([]sim.Program, k)
+			for i := 0; i < k; i++ {
+				i := i
+				progs[i] = func(ctx *sim.Ctx) sim.Value {
+					return impl.TracedWRN(ctx, i, 100+i)
+				}
+			}
+			res, err := sim.Run(sim.Config{
+				Objects:   objects,
+				Programs:  progs,
+				Scheduler: sim.NewRandom(seed),
+				Seed:      seed,
+				MaxSteps:  1 << 20,
+			})
+			if err != nil {
+				t.Fatalf("k=%d seed=%d: %v", k, seed, err)
+			}
+			if !res.AllDone() {
+				t.Fatalf("k=%d seed=%d: not wait-free: %v", k, seed, res.Status)
+			}
+			ops := linearize.Ops(res.Trace, impl.Name())
+			if !linearize.Check(spec, ops).OK {
+				t.Fatalf("k=%d seed=%d: register-only stack not linearizable:\n%v", k, seed, ops)
+			}
+		}
+	}
+}
+
+// TestAlg5FromRegistersStepCount: the register-only stack costs more
+// steps (each snapshot is a double collect) but stays bounded.
+func TestAlg5FromRegistersStepCount(t *testing.T) {
+	objects := map[string]sim.Object{}
+	impl := NewImplFromRegisters(objects, "LW", 3)
+	progs := make([]sim.Program, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		progs[i] = func(ctx *sim.Ctx) sim.Value { return impl.WRN(ctx, i, 100+i) }
+	}
+	res, err := sim.Run(sim.Config{Objects: objects, Programs: progs, MaxSteps: 1 << 16})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.AllDone() {
+		t.Fatalf("status: %v", res.Status)
+	}
+	if res.Steps < 30 {
+		t.Errorf("suspiciously few steps (%d) for the register-only stack", res.Steps)
+	}
+}

@@ -1,0 +1,113 @@
+package wrn
+
+import (
+	"testing"
+
+	"detobj/internal/linearize"
+	"detobj/internal/sim"
+)
+
+// TestAlg5CrashTolerance: Algorithm 5 is wait-free — survivors of any
+// crash pattern complete their invocations — and the resulting history,
+// including the crashed processes' pending operations, linearizes against
+// the 1sWRN_k specification.
+func TestAlg5CrashTolerance(t *testing.T) {
+	const k = 4
+	spec := Spec(k)
+	for mask := 1; mask < 1<<k-1; mask++ {
+		var crashed []int
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				crashed = append(crashed, i)
+			}
+		}
+		for seed := int64(0); seed < 12; seed++ {
+			objects := map[string]sim.Object{}
+			impl := NewImpl(objects, "LW", k)
+			progs := make([]sim.Program, k)
+			for i := 0; i < k; i++ {
+				i := i
+				progs[i] = func(ctx *sim.Ctx) sim.Value {
+					return impl.TracedWRN(ctx, i, 100+i)
+				}
+			}
+			res, err := sim.Run(sim.Config{
+				Objects:   objects,
+				Programs:  progs,
+				Scheduler: sim.NewCrashing(sim.NewRandom(seed), crashed...),
+				Seed:      seed,
+				MaxSteps:  1 << 18,
+			})
+			if err != nil {
+				t.Fatalf("crashed=%v seed=%d: %v", crashed, seed, err)
+			}
+			for i := 0; i < k; i++ {
+				if !inSet(crashed, i) && res.Status[i] != sim.StatusDone {
+					t.Fatalf("crashed=%v seed=%d: live invocation %d stuck: %v",
+						crashed, seed, i, res.Status[i])
+				}
+			}
+			done, pending := linearize.OpsWithPending(res.Trace, impl.Name())
+			all := append(done, pending...)
+			if !linearize.Check(spec, all).OK {
+				t.Fatalf("crashed=%v seed=%d: crash history not linearizable:\ncompleted %v\npending %v",
+					crashed, seed, done, pending)
+			}
+		}
+	}
+}
+
+func inSet(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAlg2OnAlg5CrashTolerance: the full stack — Algorithm 2 running on
+// the Algorithm 5 implementation — still leaves survivors deciding under
+// crashes of the underlying helpers.
+func TestAlg2OnAlg5CrashTolerance(t *testing.T) {
+	const k = 3
+	for _, crashed := range [][]int{{0}, {1}, {2}} {
+		for seed := int64(0); seed < 10; seed++ {
+			objects := map[string]sim.Object{}
+			impl := NewImpl(objects, "LW", k)
+			progs := make([]sim.Program, k)
+			for i := 0; i < k; i++ {
+				i := i
+				progs[i] = func(ctx *sim.Ctx) sim.Value {
+					if t := impl.WRN(ctx, i, 100+i); !IsBottom(t) {
+						return t
+					}
+					return 100 + i
+				}
+			}
+			res, err := sim.Run(sim.Config{
+				Objects:   objects,
+				Programs:  progs,
+				Scheduler: sim.NewCrashing(sim.NewRandom(seed), crashed...),
+				Seed:      seed,
+				MaxSteps:  1 << 18,
+			})
+			if err != nil {
+				t.Fatalf("crashed=%v seed=%d: %v", crashed, seed, err)
+			}
+			distinct := map[sim.Value]bool{}
+			for i := 0; i < k; i++ {
+				if inSet(crashed, i) {
+					continue
+				}
+				if res.Status[i] != sim.StatusDone {
+					t.Fatalf("crashed=%v seed=%d: live process %d stuck", crashed, seed, i)
+				}
+				distinct[res.Outputs[i]] = true
+			}
+			if len(distinct) > k-1 {
+				t.Fatalf("crashed=%v seed=%d: %d distinct decisions", crashed, seed, len(distinct))
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package wrn
+
+import (
+	"testing"
+
+	"detobj/internal/sim"
+)
+
+// FuzzWRNAgainstReference replays arbitrary operation sequences against
+// the WRN object and the direct Algorithm 1 reference.
+func FuzzWRNAgainstReference(f *testing.F) {
+	f.Add(uint8(3), []byte{0, 1, 2, 0, 1})
+	f.Add(uint8(5), []byte{4, 3, 2, 1, 0, 4})
+	f.Fuzz(func(t *testing.T, rawK uint8, script []byte) {
+		k := int(rawK%7) + 2
+		o := New(k)
+		ref := make([]sim.Value, k)
+		for i := range ref {
+			ref[i] = Bottom
+		}
+		env := &sim.Env{}
+		for step, b := range script {
+			i := int(b) % k
+			v := step
+			got := o.Apply(env, sim.Invocation{Op: "WRN", Args: []sim.Value{i, v}}).Value
+			ref[i] = v
+			if want := ref[(i+1)%k]; got != want {
+				t.Fatalf("k=%d step %d: WRN(%d,%d) = %v, want %v", k, step, i, v, got, want)
+			}
+		}
+	})
+}
+
+// FuzzAlg2Schedules runs Algorithm 2 under arbitrary schedules and checks
+// the (k−1)-agreement bound and the first-decider claim.
+func FuzzAlg2Schedules(f *testing.F) {
+	f.Add(uint8(3), []byte{0, 1, 2})
+	f.Add(uint8(4), []byte{3, 2, 1, 0})
+	f.Fuzz(func(t *testing.T, rawK uint8, order []byte) {
+		k := int(rawK%6) + 3
+		objects := map[string]sim.Object{"W": NewOneShot(k)}
+		w := Ref{Name: "W"}
+		progs := make([]sim.Program, k)
+		for i := 0; i < k; i++ {
+			i := i
+			progs[i] = func(ctx *sim.Ctx) sim.Value {
+				if t := w.WRN(ctx, i, 100+i); !IsBottom(t) {
+					return t
+				}
+				return 100 + i
+			}
+		}
+		sched := make([]int, len(order))
+		for i, b := range order {
+			sched[i] = int(b) % k
+		}
+		res, err := sim.Run(sim.Config{
+			Objects:   objects,
+			Programs:  progs,
+			Scheduler: &sim.Fixed{Order: sched, Fallback: sim.NewRoundRobin()},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct := map[sim.Value]bool{}
+		for _, out := range res.Outputs {
+			distinct[out] = true
+		}
+		if len(distinct) > k-1 {
+			t.Fatalf("k=%d: %d distinct decisions", k, len(distinct))
+		}
+	})
+}

@@ -1,0 +1,365 @@
+package wrn
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"detobj/internal/modelcheck"
+	"detobj/internal/sim"
+)
+
+func TestBottom(t *testing.T) {
+	if !IsBottom(Bottom) {
+		t.Error("IsBottom(Bottom) = false")
+	}
+	if IsBottom(42) || IsBottom(nil) {
+		t.Error("IsBottom accepts non-bottom values")
+	}
+	if fmt.Sprint(Bottom) != "⊥" {
+		t.Errorf("Bottom prints as %v", Bottom)
+	}
+	if Bottom != Bottom {
+		t.Error("Bottom is not comparable to itself")
+	}
+}
+
+func TestNewRejectsSmallK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(1) did not panic")
+		}
+	}()
+	New(1)
+}
+
+// TestWRNSequentialSpec checks Algorithm 1 directly: WRN(i, v) writes A[i]
+// and returns the previous A[(i+1) mod k].
+func TestWRNSequentialSpec(t *testing.T) {
+	const k = 4
+	o := New(k)
+	env := &sim.Env{}
+	wrn := func(i int, v sim.Value) sim.Value {
+		return o.Apply(env, sim.Invocation{Op: "WRN", Args: []sim.Value{i, v}}).Value
+	}
+	if got := wrn(0, "a"); !IsBottom(got) {
+		t.Errorf("first WRN(0) = %v, want ⊥", got)
+	}
+	if got := wrn(3, "d"); got != "a" {
+		t.Errorf("WRN(3) = %v, want a (cell 0)", got)
+	}
+	if got := wrn(2, "c"); got != "d" {
+		t.Errorf("WRN(2) = %v, want d (cell 3)", got)
+	}
+	if got := wrn(1, "b"); got != "c" {
+		t.Errorf("WRN(1) = %v, want c (cell 2)", got)
+	}
+	if got := wrn(0, "a2"); got != "b" {
+		t.Errorf("WRN(0) again = %v, want b (cell 1)", got)
+	}
+	cells := o.Cells()
+	want := []sim.Value{"a2", "b", "c", "d"}
+	for i := range want {
+		if cells[i] != want[i] {
+			t.Errorf("cells[%d] = %v, want %v", i, cells[i], want[i])
+		}
+	}
+	if o.K() != k {
+		t.Errorf("K = %d, want %d", o.K(), k)
+	}
+}
+
+// TestWRNK2IsSwap: with k = 2, WRN(i, v) is exactly a SWAP on a 2-cell
+// ring — writing one cell returns the other's previous content.
+func TestWRNK2IsSwap(t *testing.T) {
+	o := New(2)
+	env := &sim.Env{}
+	wrn := func(i int, v sim.Value) sim.Value {
+		return o.Apply(env, sim.Invocation{Op: "WRN", Args: []sim.Value{i, v}}).Value
+	}
+	if got := wrn(0, "x"); !IsBottom(got) {
+		t.Errorf("WRN(0,x) = %v, want ⊥", got)
+	}
+	if got := wrn(1, "y"); got != "x" {
+		t.Errorf("WRN(1,y) = %v, want x", got)
+	}
+	if got := wrn(0, "z"); got != "y" {
+		t.Errorf("WRN(0,z) = %v, want y", got)
+	}
+}
+
+func TestWRNValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		inv  sim.Invocation
+	}{
+		{"bad op", sim.Invocation{Op: "read"}},
+		{"index out of range", sim.Invocation{Op: "WRN", Args: []sim.Value{5, "v"}}},
+		{"negative index", sim.Invocation{Op: "WRN", Args: []sim.Value{-1, "v"}}},
+		{"non-int index", sim.Invocation{Op: "WRN", Args: []sim.Value{"0", "v"}}},
+		{"bottom value", sim.Invocation{Op: "WRN", Args: []sim.Value{0, Bottom}}},
+		{"nil value", sim.Invocation{Op: "WRN", Args: []sim.Value{0, nil}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", c.name)
+				}
+			}()
+			New(3).Apply(&sim.Env{}, c.inv)
+		})
+	}
+}
+
+func TestOneShotHangsOnReuse(t *testing.T) {
+	o := NewOneShot(3)
+	env := &sim.Env{}
+	first := o.Apply(env, sim.Invocation{Op: "WRN", Args: []sim.Value{1, "v"}})
+	if first.Effect != sim.Return || !IsBottom(first.Value) {
+		t.Fatalf("first use = %+v", first)
+	}
+	second := o.Apply(env, sim.Invocation{Op: "WRN", Args: []sim.Value{1, "w"}})
+	if second.Effect != sim.Hang {
+		t.Fatalf("second use of index 1 did not hang: %+v", second)
+	}
+	if got := o.Invocations(1); got != 2 {
+		t.Errorf("Invocations(1) = %d, want 2", got)
+	}
+	// The hung attempt must not have modified the cell.
+	if cells := o.Cells(); cells[1] != "v" {
+		t.Errorf("cell 1 = %v after hung write, want v", cells[1])
+	}
+	// Other indices still work.
+	third := o.Apply(env, sim.Invocation{Op: "WRN", Args: []sim.Value{0, "u"}})
+	if third.Effect != sim.Return || third.Value != "v" {
+		t.Errorf("WRN(0,u) = %+v, want v", third)
+	}
+	if o.K() != 3 {
+		t.Errorf("K = %d", o.K())
+	}
+}
+
+// TestOneShotHangInsideRun verifies the hang is undetectable in a real
+// simulation: the offending process parks, the rest finish.
+func TestOneShotHangInsideRun(t *testing.T) {
+	objects := map[string]sim.Object{"W": NewOneShot(3)}
+	w := Ref{Name: "W"}
+	reuse := func(ctx *sim.Ctx) sim.Value {
+		w.WRN(ctx, 0, "a")
+		w.WRN(ctx, 0, "b") // hangs forever
+		return "unreachable"
+	}
+	other := func(ctx *sim.Ctx) sim.Value { return w.WRN(ctx, 1, "c") }
+	res, err := sim.Run(sim.Config{
+		Objects:   objects,
+		Programs:  []sim.Program{reuse, other},
+		Scheduler: sim.Priority{0, 1},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Status[0] != sim.StatusHung {
+		t.Errorf("reusing process status = %v, want hung", res.Status[0])
+	}
+	// Process 1 writes cell 1 and reads cell 2, which nobody wrote: ⊥.
+	if res.Status[1] != sim.StatusDone || !IsBottom(res.Outputs[1]) {
+		t.Errorf("other process: status %v output %v, want done / ⊥", res.Status[1], res.Outputs[1])
+	}
+}
+
+// TestQuickWRNMatchesReference runs random operation sequences against the
+// object and an independent reference implementation of Algorithm 1.
+func TestQuickWRNMatchesReference(t *testing.T) {
+	type op struct {
+		I uint8
+		V uint8
+	}
+	f := func(rawK uint8, ops []op) bool {
+		k := int(rawK%6) + 2
+		o := New(k)
+		ref := make([]sim.Value, k)
+		for i := range ref {
+			ref[i] = Bottom
+		}
+		env := &sim.Env{}
+		for _, operation := range ops {
+			i := int(operation.I) % k
+			v := int(operation.V)
+			got := o.Apply(env, sim.Invocation{Op: "WRN", Args: []sim.Value{i, v}}).Value
+			ref[i] = v
+			want := ref[(i+1)%k]
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRelaxedSoleAccessorForwards (Claim 21): a process alone on its index
+// reads counter value 1 and reaches the one-shot object.
+func TestRelaxedSoleAccessorForwards(t *testing.T) {
+	const k = 4
+	objects := map[string]sim.Object{}
+	rlx, one := NewRelaxed(objects, "W", k)
+	progs := make([]sim.Program, k)
+	for i := 0; i < k; i++ {
+		i := i
+		progs[i] = func(ctx *sim.Ctx) sim.Value {
+			return rlx.RlxWRN(ctx, i, fmt.Sprintf("v%d", i))
+		}
+	}
+	res, err := sim.Run(sim.Config{Objects: objects, Programs: progs, Scheduler: sim.NewRandom(7)})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.AllDone() {
+		t.Fatalf("status = %v", res.Status)
+	}
+	for i := 0; i < k; i++ {
+		if got := one.Invocations(i); got != 1 {
+			t.Errorf("index %d reached 1sWRN %d times, want exactly 1", i, got)
+		}
+	}
+	if rlx.K() != k {
+		t.Errorf("K = %d", rlx.K())
+	}
+}
+
+// TestRelaxedContendedIndexLegal (Claims 19–20): many processes hammering
+// the SAME index never invoke the one-shot object more than once, and the
+// losers all get ⊥.
+func TestRelaxedContendedIndexLegal(t *testing.T) {
+	const procs = 5
+	for seed := int64(0); seed < 30; seed++ {
+		objects := map[string]sim.Object{}
+		rlx, one := NewRelaxed(objects, "W", 3)
+		progs := make([]sim.Program, procs)
+		for p := 0; p < procs; p++ {
+			p := p
+			progs[p] = func(ctx *sim.Ctx) sim.Value {
+				return rlx.RlxWRN(ctx, 0, fmt.Sprintf("p%d", p))
+			}
+		}
+		res, err := sim.Run(sim.Config{Objects: objects, Programs: progs, Scheduler: sim.NewRandom(seed)})
+		if err != nil {
+			t.Fatalf("seed %d: Run: %v", seed, err)
+		}
+		if !res.AllDone() {
+			t.Fatalf("seed %d: a process hung — 1sWRN used illegally: %v", seed, res.Status)
+		}
+		if got := one.Invocations(0); got > 1 {
+			t.Errorf("seed %d: index 0 reached 1sWRN %d times, want at most 1", seed, got)
+		}
+		bottoms := 0
+		for _, out := range res.Outputs {
+			if IsBottom(out) {
+				bottoms++
+			}
+		}
+		if bottoms < procs-1 {
+			t.Errorf("seed %d: %d processes got non-⊥ on a contended index", seed, procs-bottoms)
+		}
+	}
+}
+
+// TestRelaxedSequentialReuseGivesBottom: with no contention but repeated
+// use of an index by the same caller pattern, the second use returns ⊥
+// rather than reaching the one-shot object.
+func TestRelaxedSequentialReuseGivesBottom(t *testing.T) {
+	objects := map[string]sim.Object{}
+	rlx, one := NewRelaxed(objects, "W", 3)
+	res, err := sim.Run(sim.Config{
+		Objects: objects,
+		Programs: []sim.Program{func(ctx *sim.Ctx) sim.Value {
+			first := rlx.RlxWRN(ctx, 2, "a")
+			second := rlx.RlxWRN(ctx, 2, "b")
+			return []sim.Value{first, second}
+		}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := res.Outputs[0].([]sim.Value)
+	if !IsBottom(out[0]) {
+		t.Errorf("first RlxWRN = %v, want ⊥ (empty successor cell)", out[0])
+	}
+	if !IsBottom(out[1]) {
+		t.Errorf("second RlxWRN = %v, want ⊥ (gave up)", out[1])
+	}
+	if got := one.Invocations(2); got != 1 {
+		t.Errorf("index 2 reached 1sWRN %d times, want 1", got)
+	}
+}
+
+// TestRelaxedExhaustive (Claims 19–20 over ALL executions): three
+// processes race on the same index; in every interleaving the one-shot
+// object is reached at most once and nobody hangs.
+func TestRelaxedExhaustive(t *testing.T) {
+	var oneRef *OneShot
+	count, err := modelcheck.VerifyAll(func() sim.Config {
+		objects := map[string]sim.Object{}
+		var rlx Relaxed
+		rlx, oneRef = NewRelaxed(objects, "W", 3)
+		progs := make([]sim.Program, 3)
+		for p := 0; p < 3; p++ {
+			p := p
+			progs[p] = func(ctx *sim.Ctx) sim.Value {
+				return rlx.RlxWRN(ctx, 0, fmt.Sprintf("p%d", p))
+			}
+		}
+		return sim.Config{Objects: objects, Programs: progs}
+	}, 1<<20, func(res *sim.Result) error {
+		if !res.AllDone() {
+			return fmt.Errorf("a process hung: %v", res.Status)
+		}
+		if oneRef.Invocations(0) > 1 {
+			return fmt.Errorf("one-shot index reached %d times", oneRef.Invocations(0))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count < 100 {
+		t.Fatalf("only %d executions", count)
+	}
+	t.Logf("verified %d executions", count)
+}
+
+// TestRelaxedExhaustiveMixedIndices: two processes on index 0, one on
+// index 1 — every interleaving keeps use legal and the solo index always
+// reaches the object (Claim 21).
+func TestRelaxedExhaustiveMixedIndices(t *testing.T) {
+	var oneRef *OneShot
+	_, err := modelcheck.VerifyAll(func() sim.Config {
+		objects := map[string]sim.Object{}
+		var rlx Relaxed
+		rlx, oneRef = NewRelaxed(objects, "W", 3)
+		mk := func(idx int, v string) sim.Program {
+			return func(ctx *sim.Ctx) sim.Value { return rlx.RlxWRN(ctx, idx, v) }
+		}
+		return sim.Config{
+			Objects:  objects,
+			Programs: []sim.Program{mk(0, "a"), mk(0, "b"), mk(1, "solo")},
+		}
+	}, 1<<20, func(res *sim.Result) error {
+		if !res.AllDone() {
+			return fmt.Errorf("hang: %v", res.Status)
+		}
+		if oneRef.Invocations(0) > 1 {
+			return fmt.Errorf("contended index reached %d times", oneRef.Invocations(0))
+		}
+		if oneRef.Invocations(1) != 1 {
+			return fmt.Errorf("solo index reached %d times, want 1 (Claim 21)", oneRef.Invocations(1))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+package native
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestWRNSequential(t *testing.T) {
+	w := NewWRN(3)
+	if w.K() != 3 {
+		t.Fatalf("K = %d", w.K())
+	}
+	got, err := w.WRN(0, "a")
+	if err != nil || !IsBottom(got) {
+		t.Fatalf("WRN(0,a) = %v, %v", got, err)
+	}
+	got, err = w.WRN(2, "c")
+	if err != nil || got != "a" {
+		t.Fatalf("WRN(2,c) = %v, %v", got, err)
+	}
+	got, err = w.WRN(0, "a2")
+	if err != nil || !IsBottom(got) {
+		t.Fatalf("WRN(0,a2) = %v, %v (cell 1 untouched)", got, err)
+	}
+}
+
+func TestWRNValidation(t *testing.T) {
+	w := NewWRN(3)
+	if _, err := w.WRN(7, "v"); !errors.Is(err, ErrBadIndex) {
+		t.Errorf("bad index err = %v", err)
+	}
+	if _, err := w.WRN(0, nil); !errors.Is(err, ErrBadValue) {
+		t.Errorf("nil value err = %v", err)
+	}
+	if _, err := w.WRN(0, Bottom); !errors.Is(err, ErrBadValue) {
+		t.Errorf("bottom value err = %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWRN(1) did not panic")
+		}
+	}()
+	NewWRN(1)
+}
+
+func TestOneShotReuse(t *testing.T) {
+	w := NewOneShotWRN(3)
+	if _, err := w.WRN(1, "v"); err != nil {
+		t.Fatalf("first use: %v", err)
+	}
+	if _, err := w.WRN(1, "w"); !errors.Is(err, ErrIndexUsed) {
+		t.Fatalf("reuse err = %v", err)
+	}
+	if w.K() != 3 {
+		t.Errorf("K = %d", w.K())
+	}
+}
+
+func TestBottomIdentity(t *testing.T) {
+	if !IsBottom(Bottom) || IsBottom("x") || IsBottom(nil) {
+		t.Error("IsBottom misbehaves")
+	}
+	if fmt.Sprint(Bottom) != "⊥" {
+		t.Errorf("Bottom prints as %v", Bottom)
+	}
+}
+
+// TestSetConsensusConcurrent: real goroutines race through the protocol;
+// the decisions must satisfy validity and the guarantee, every time.
+func TestSetConsensusConcurrent(t *testing.T) {
+	cases := []struct{ n, k int }{{3, 3}, {6, 3}, {12, 3}, {10, 5}, {7, 4}}
+	for _, c := range cases {
+		for round := 0; round < 200; round++ {
+			s := NewSetConsensus(c.n, c.k)
+			decisions := make([]any, c.n)
+			var wg sync.WaitGroup
+			for id := 0; id < c.n; id++ {
+				id := id
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					out, err := s.Propose(id, id*10)
+					if err != nil {
+						t.Errorf("n=%d k=%d id=%d: %v", c.n, c.k, id, err)
+						return
+					}
+					decisions[id] = out
+				}()
+			}
+			wg.Wait()
+			distinct := map[any]bool{}
+			proposed := map[any]bool{}
+			for id := 0; id < c.n; id++ {
+				proposed[id*10] = true
+			}
+			for id, d := range decisions {
+				if !proposed[d] {
+					t.Fatalf("n=%d k=%d: participant %d decided unproposed %v", c.n, c.k, id, d)
+				}
+				distinct[d] = true
+			}
+			if len(distinct) > s.Guarantee() {
+				t.Fatalf("n=%d k=%d round=%d: %d distinct decisions, guarantee %d",
+					c.n, c.k, round, len(distinct), s.Guarantee())
+			}
+		}
+	}
+}
+
+// TestSetConsensusDoublePropose: a participant proposing twice hits the
+// one-shot guard.
+func TestSetConsensusDoublePropose(t *testing.T) {
+	s := NewSetConsensus(3, 3)
+	if _, err := s.Propose(0, "x"); err != nil {
+		t.Fatalf("first propose: %v", err)
+	}
+	if _, err := s.Propose(0, "y"); !errors.Is(err, ErrIndexUsed) {
+		t.Fatalf("double propose err = %v", err)
+	}
+	if _, err := s.Propose(9, "z"); !errors.Is(err, ErrBadIndex) {
+		t.Fatalf("bad participant err = %v", err)
+	}
+}
+
+func TestSetConsensusGuarantee(t *testing.T) {
+	if g := NewSetConsensus(12, 3).Guarantee(); g != 8 {
+		t.Errorf("Guarantee(12,3) = %d, want 8", g)
+	}
+	if g := NewSetConsensus(7, 3).Guarantee(); g != 5 {
+		t.Errorf("Guarantee(7,3) = %d, want 5", g)
+	}
+}
+
+// TestWRNConcurrentLinearizable: concurrent WRN operations on distinct
+// indices; afterwards the cell contents must equal the last write per
+// index and every returned value must be ⊥ or some written value.
+func TestWRNConcurrentLinearizable(t *testing.T) {
+	const k = 8
+	for round := 0; round < 100; round++ {
+		w := NewWRN(k)
+		results := make([]any, k)
+		var wg sync.WaitGroup
+		for i := 0; i < k; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out, err := w.WRN(i, fmt.Sprintf("v%d", i))
+				if err != nil {
+					t.Errorf("WRN(%d): %v", i, err)
+					return
+				}
+				results[i] = out
+			}()
+		}
+		wg.Wait()
+		bottoms := 0
+		for i, out := range results {
+			if IsBottom(out) {
+				bottoms++
+				continue
+			}
+			if out != fmt.Sprintf("v%d", (i+1)%k) {
+				t.Fatalf("round %d: WRN(%d) returned %v", round, i, out)
+			}
+		}
+		if bottoms == 0 {
+			t.Fatalf("round %d: nobody read ⊥; the first operation must", round)
+		}
+	}
+}
+
+// TestQuickSetConsensusValidity: random (n,k) configurations keep the
+// bound under concurrency.
+func TestQuickSetConsensusValidity(t *testing.T) {
+	f := func(rawN, rawK uint8) bool {
+		k := int(rawK%5) + 2
+		n := int(rawN%20) + 1
+		s := NewSetConsensus(n, k)
+		decisions := make([]any, n)
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			id := id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out, err := s.Propose(id, id)
+				if err == nil {
+					decisions[id] = out
+				}
+			}()
+		}
+		wg.Wait()
+		distinct := map[any]bool{}
+		for _, d := range decisions {
+			if d == nil {
+				return false
+			}
+			distinct[d] = true
+		}
+		return len(distinct) <= s.Guarantee()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkNativeWRN(b *testing.B) {
+	w := NewWRN(8)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := w.WRN(i%8, i+1); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkNativeSetConsensusRound(b *testing.B) {
+	const n, k = 12, 3
+	b.ReportAllocs()
+	for iter := 0; iter < b.N; iter++ {
+		s := NewSetConsensus(n, k)
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			id := id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := s.Propose(id, id); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,133 @@
+package detobj_test
+
+// Soak campaigns: high-volume randomized validation of the paper's
+// algorithms, skipped under -short. The default `go test ./...` runs them;
+// CI-style quick runs use `go test -short ./...`.
+
+import (
+	"fmt"
+	"testing"
+
+	"detobj/internal/linearize"
+	"detobj/internal/setconsensus"
+	"detobj/internal/sim"
+	"detobj/internal/tasks"
+	"detobj/internal/wrn"
+)
+
+// TestSoakAlg5Linearizability: 1500 schedules per k across k = 2..6, each
+// history checked.
+func TestSoakAlg5Linearizability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for k := 2; k <= 6; k++ {
+		spec := wrn.Spec(k)
+		for seed := int64(0); seed < 1500; seed++ {
+			objects := map[string]sim.Object{}
+			impl := wrn.NewImpl(objects, "LW", k)
+			progs := make([]sim.Program, k)
+			for i := 0; i < k; i++ {
+				i := i
+				progs[i] = func(ctx *sim.Ctx) sim.Value {
+					return impl.TracedWRN(ctx, i, 100+i)
+				}
+			}
+			res, err := sim.Run(sim.Config{
+				Objects:   objects,
+				Programs:  progs,
+				Scheduler: sim.NewRandom(seed),
+				Seed:      seed * 7,
+				MaxSteps:  1 << 18,
+			})
+			if err != nil {
+				t.Fatalf("k=%d seed=%d: %v", k, seed, err)
+			}
+			if !linearize.Check(spec, linearize.Ops(res.Trace, impl.Name())).OK {
+				t.Fatalf("k=%d seed=%d: not linearizable", k, seed)
+			}
+		}
+	}
+}
+
+// TestSoakAlg3Campaign: 400 runs of Algorithm 3 over rotating participant
+// sets and both crash-free and crashing adversaries.
+func TestSoakAlg3Campaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const k, m = 3, 32
+	family := setconsensus.CoveringFamily(k)
+	task := tasks.SetConsensus{K: k - 1}
+	for trial := 0; trial < 400; trial++ {
+		ids := []int{(trial * 3) % m, (trial*3 + 11) % m, (trial*3 + 19) % m}
+		objects := map[string]sim.Object{}
+		a, ones := setconsensus.NewAlg3(objects, "A", k, m, family)
+		inputs := map[int]sim.Value{}
+		progs := make([]sim.Program, k)
+		for p, id := range ids {
+			v := fmt.Sprintf("v%d", id)
+			inputs[p] = v
+			progs[p] = a.Program(id, v)
+		}
+		var sched sim.Scheduler = sim.NewRandom(int64(trial))
+		if trial%4 == 3 {
+			sched = sim.NewCrashing(sim.NewRandom(int64(trial)), trial%k)
+		}
+		res, err := sim.Run(sim.Config{
+			Objects:   objects,
+			Programs:  progs,
+			Scheduler: sched,
+			MaxSteps:  1 << 20,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		o := tasks.OutcomeFromResult(res, inputs)
+		if err := task.Check(o); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for l, one := range ones {
+			for i := 0; i < k; i++ {
+				if one.Invocations(i) > 1 {
+					t.Fatalf("trial %d: instance %d index %d used twice", trial, l, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSoakAlg6WideSweep: Algorithm 6 across a grid of (n, k) with 100
+// seeds each.
+func TestSoakAlg6WideSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for _, k := range []int{3, 4, 5, 6} {
+		for _, n := range []int{k, 2 * k, 3*k - 1, 4 * k} {
+			task := tasks.SetConsensus{K: setconsensus.Guarantee(n, k)}
+			for seed := int64(0); seed < 100; seed++ {
+				objects := map[string]sim.Object{}
+				a := setconsensus.NewAlg6(objects, "G", n, k)
+				inputs := map[int]sim.Value{}
+				progs := make([]sim.Program, n)
+				for i := 0; i < n; i++ {
+					inputs[i] = i
+					progs[i] = a.Program(i, i)
+				}
+				res, err := sim.Run(sim.Config{
+					Objects:   objects,
+					Programs:  progs,
+					Scheduler: sim.NewRandom(seed),
+				})
+				if err != nil {
+					t.Fatalf("n=%d k=%d seed=%d: %v", n, k, seed, err)
+				}
+				o := tasks.OutcomeFromResult(res, inputs)
+				if err := task.Check(o); err != nil {
+					t.Fatalf("n=%d k=%d seed=%d: %v", n, k, seed, err)
+				}
+			}
+		}
+	}
+}
