@@ -2,15 +2,25 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments fuzz clean
+.PHONY: all build vet lint race test test-short bench experiments fuzz clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Run the determinism & model-integrity analyzer suite (see README
+# "Static analysis"); nonzero exit on any unannotated finding.
+lint:
+	$(GO) run ./cmd/detlint ./...
+
+# Exercise the native (real-goroutine) package and everything else under
+# the race detector.
+race:
+	$(GO) test -race -short ./native/... ./...
 
 test:
 	$(GO) test ./...

@@ -2,6 +2,7 @@ package detobj
 
 import (
 	"detobj/internal/bgsim"
+	"detobj/internal/consensus"
 	"detobj/internal/core"
 	"detobj/internal/election"
 	"detobj/internal/immediate"
@@ -14,6 +15,7 @@ import (
 	"detobj/internal/sim"
 	"detobj/internal/snapshot"
 	"detobj/internal/tasks"
+	"detobj/internal/universal"
 	"detobj/internal/wrn"
 )
 
@@ -53,6 +55,12 @@ func NewRandomScheduler(seed int64) Scheduler { return sim.NewRandom(seed) }
 // NewFixedSchedule returns a scheduler replaying the given process order.
 func NewFixedSchedule(order ...int) Scheduler { return sim.NewFixed(order...) }
 
+// NewCrashingScheduler wraps inner so the listed processes are never
+// scheduled again — the model's crash failures.
+func NewCrashingScheduler(inner Scheduler, crashed ...int) Scheduler {
+	return sim.NewCrashing(inner, crashed...)
+}
+
 // WRN objects (paper §3).
 type (
 	// WRN is the deterministic WriteAndReadNext object WRN_k.
@@ -64,6 +72,11 @@ type (
 	// WRNImpl is Algorithm 5: linearizable 1sWRN_k from strong set
 	// election and registers.
 	WRNImpl = wrn.Impl
+	// RelaxedWRN is Algorithm 4's flag-guarded relaxed WRN_k wrapper.
+	RelaxedWRN = wrn.Relaxed
+	// WRNOperator abstracts anything offering the WRN operation — the
+	// atomic object or an Algorithm 5 implementation.
+	WRNOperator = wrn.Operator
 )
 
 // Bottom is the distinguished ⊥ value of WRN cells.
@@ -124,6 +137,33 @@ func NewWRNImpl(objects map[string]Object, name string, k int) WRNImpl {
 	return wrn.NewImpl(objects, name, k)
 }
 
+// NewWRNImplFromRegisters registers the registers-only variant of
+// Algorithm 5 (strong set election implemented from snapshots rather
+// than taken as an atomic object).
+func NewWRNImplFromRegisters(objects map[string]Object, name string, k int) WRNImpl {
+	return wrn.NewImplFromRegisters(objects, name, k)
+}
+
+// NewRelaxedWRN registers a fresh 1sWRN_k plus its k flag counters and
+// returns Algorithm 4's relaxed handle along with the underlying
+// one-shot object (exposed so callers can verify legal use).
+func NewRelaxedWRN(objects map[string]Object, name string, k int) (RelaxedWRN, *OneShotWRN) {
+	return wrn.NewRelaxed(objects, name, k)
+}
+
+// NewRelaxedWRNOver builds Algorithm 4's relaxed wrapper over an
+// arbitrary WRN operator, registering only the flag counters.
+func NewRelaxedWRNOver(objects map[string]Object, name string, k int, op WRNOperator) RelaxedWRN {
+	return wrn.NewRelaxedOver(objects, name, k, op)
+}
+
+// NewAlg3Over registers Algorithm 3's shared state with a caller-chosen
+// relaxed-WRN factory per instance — e.g. to run the protocol over
+// implemented rather than atomic objects.
+func NewAlg3Over(objects map[string]Object, name string, k, m int, family IndexFamily, mk func(instName string, k int) RelaxedWRN) Alg3 {
+	return setconsensus.NewAlg3Over(objects, name, k, m, family, mk)
+}
+
 // NewStrongElection returns the (k, k−1)-strong set election object.
 func NewStrongElection(k int) Object { return election.NewStrongObject(k) }
 
@@ -132,10 +172,79 @@ func NewRenaming(objects map[string]Object, name string, m int) renaming.Protoco
 	return renaming.New(objects, name, m)
 }
 
+// NewRenamingFromRegisters registers the registers-only renaming
+// variant (snapshot implemented from registers, not atomic).
+func NewRenamingFromRegisters(objects map[string]Object, name string, m int) renaming.Protocol {
+	return renaming.NewFromRegisters(objects, name, m)
+}
+
+// Snapshot objects.
+type (
+	// SnapshotObject is the atomic n-component snapshot object.
+	SnapshotObject = snapshot.Object
+	// SnapshotImpl is the Afek et al. wait-free snapshot implementation
+	// from registers.
+	SnapshotImpl = snapshot.Impl
+	// Snapshotter is the common update/scan interface of both.
+	Snapshotter = snapshot.Snapshotter
+)
+
+// NewSnapshotObject returns a fresh atomic snapshot object (not yet
+// registered in any run's object map).
+func NewSnapshotObject(n int, initial Value) *SnapshotObject { return snapshot.NewObject(n, initial) }
+
+// NewSnapshotImpl registers the register-based snapshot implementation
+// and returns its handle.
+func NewSnapshotImpl(objects map[string]Object, name string, n int, initial Value) SnapshotImpl {
+	return snapshot.NewImpl(objects, name, n, initial)
+}
+
 // NewSnapshot registers an atomic snapshot object and returns its handle.
-func NewSnapshot(objects map[string]Object, name string, n int, initial Value) snapshot.Snapshotter {
+func NewSnapshot(objects map[string]Object, name string, n int, initial Value) Snapshotter {
 	return snapshot.NewObjectHandle(objects, name, n, initial)
 }
+
+// Election-to-consensus reduction.
+type (
+	// ElectionProposer abstracts the propose step of an election object.
+	ElectionProposer = election.Proposer
+	// ConsensusFromElection is the consensus protocol built over a
+	// strong election object.
+	ConsensusFromElection = election.ConsensusFromElection
+)
+
+// NewConsensusFromElection registers the reduction from n-process
+// consensus to strong election.
+func NewConsensusFromElection(objects map[string]Object, name string, n int, elect ElectionProposer) ConsensusFromElection {
+	return election.NewConsensusFromElection(objects, name, n, elect)
+}
+
+// UniversalConstruction is Herlihy's universal construction driven by
+// consensus objects.
+type UniversalConstruction = universal.Construction
+
+// NewUniversal registers a universal construction for n processes over
+// at most maxCells consensus cells, implementing the sequential spec.
+func NewUniversal(objects map[string]Object, name string, n, maxCells int, spec LinSpec) UniversalConstruction {
+	return universal.New(objects, name, n, maxCells, spec)
+}
+
+// Classic consensus objects (comparison points for the hierarchy).
+
+// NewQueue returns a sequential FIFO queue object seeded with items.
+func NewQueue(items ...Value) Object { return consensus.NewQueue(items...) }
+
+// NewFetchAdd returns a fetch-and-add counter object.
+func NewFetchAdd(initial int) Object { return consensus.NewFetchAdd(initial) }
+
+// NewSwap returns a swap (read-modify-write exchange) object.
+func NewSwap(initial Value) Object { return consensus.NewSwap(initial) }
+
+// NewTestAndSet returns a one-shot test-and-set object.
+func NewTestAndSet() Object { return consensus.NewTestAndSet() }
+
+// NewConsensusCell returns an n-process write-once consensus cell.
+func NewConsensusCell(n int) Object { return consensus.NewCell(n) }
 
 // Tasks and checking.
 type (

@@ -42,9 +42,10 @@ func TestTheorem41BoundIsTight(t *testing.T) {
 		}
 		progs := core.PartitionPrograms(objects, "P", c.m, c.j, vs)
 		res, err := sim.Run(sim.Config{
-			Objects:  objects,
-			Programs: progs,
-			Choice:   maxChoice{},
+			Objects:      objects,
+			Programs:     progs,
+			Choice:       maxChoice{},
+			VerifyReplay: true,
 		})
 		if err != nil {
 			t.Fatalf("n=%d m=%d j=%d: %v", c.n, c.m, c.j, err)
@@ -75,9 +76,10 @@ func TestConjPowerBoundIsTight(t *testing.T) {
 		}
 		progs := core.ConjPrograms(objects, "C", c.consN, c.m, c.j, vs)
 		res, err := sim.Run(sim.Config{
-			Objects:  objects,
-			Programs: progs,
-			Choice:   maxChoice{},
+			Objects:      objects,
+			Programs:     progs,
+			Choice:       maxChoice{},
+			VerifyReplay: true,
 		})
 		if err != nil {
 			t.Fatalf("%+v: %v", c, err)
@@ -109,9 +111,10 @@ func TestAlg2BoundIsTightEveryK(t *testing.T) {
 			order[i] = k - 1 - i
 		}
 		res, err := sim.Run(sim.Config{
-			Objects:   objects,
-			Programs:  progs,
-			Scheduler: sim.NewFixed(order...),
+			Objects:      objects,
+			Programs:     progs,
+			Scheduler:    sim.NewFixed(order...),
+			VerifyReplay: true,
 		})
 		if err != nil {
 			t.Fatalf("k=%d: %v", k, err)
@@ -146,11 +149,12 @@ func TestWholeStackCampaign(t *testing.T) {
 			progs[p] = a.Program(id, v)
 		}
 		res, err := sim.Run(sim.Config{
-			Objects:   objects,
-			Programs:  progs,
-			Scheduler: sim.NewRandom(int64(trial) * 97),
-			Seed:      int64(trial),
-			MaxSteps:  1 << 21,
+			Objects:      objects,
+			Programs:     progs,
+			Scheduler:    sim.NewRandom(int64(trial) * 97),
+			Seed:         int64(trial),
+			MaxSteps:     1 << 21,
+			VerifyReplay: true,
 		})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)

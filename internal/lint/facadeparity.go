@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// AnalyzerFacadeParity returns the facadeparity rule. EXPERIMENTS.md's
+// module index names the internal packages each experiment exercises;
+// those packages are the library's load-bearing surface, and downstream
+// users reach them only through the root facade (api.go). The rule
+// checks that every exported constructor (func New…) of a referenced
+// internal package is mentioned somewhere in the root package — catching
+// facade drift, where a package grows a constructor that experiments and
+// tests use but the public API silently lacks. Intentionally
+// internal-only constructors carry a //detlint:allow facadeparity
+// annotation at their declaration.
+func AnalyzerFacadeParity() *Analyzer {
+	return &Analyzer{
+		Name: "facadeparity",
+		Doc:  "exported constructors of modules referenced by EXPERIMENTS.md must be reachable through api.go",
+		Run:  runFacadeParity,
+	}
+}
+
+// internalRef matches internal-package references in EXPERIMENTS.md,
+// e.g. `internal/wrn` or internal/setconsensus/alg2_test.go.
+var internalRef = regexp.MustCompile(`internal/([a-z][a-zA-Z0-9_]*)`)
+
+func runFacadeParity(m *Module) []Diagnostic {
+	expPath := filepath.Join(m.Root, "EXPERIMENTS.md")
+	data, err := os.ReadFile(expPath)
+	if err != nil {
+		// Without an experiment index the rule has nothing to bind.
+		return nil
+	}
+	referenced := make(map[string]bool)
+	for _, match := range internalRef.FindAllStringSubmatch(string(data), -1) {
+		referenced[m.Path+"/internal/"+match[1]] = true
+	}
+	root := m.Lookup(m.Path)
+	usedByRoot := make(map[types.Object]bool)
+	if root != nil {
+		for _, obj := range root.Info.Uses {
+			usedByRoot[obj] = true
+		}
+	}
+	var out []Diagnostic
+	paths := make([]string, 0, len(referenced))
+	for p := range referenced {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		pkg := m.Lookup(path)
+		if pkg == nil {
+			out = append(out, Diagnostic{
+				Pos: token.Position{Filename: expPath, Line: 1, Column: 1},
+				Msg: fmt.Sprintf("EXPERIMENTS.md references %s, which is not a package of this module", path),
+			})
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			fn, ok := scope.Lookup(name).(*types.Func)
+			if !ok || !fn.Exported() || !strings.HasPrefix(name, "New") {
+				continue
+			}
+			if !usedByRoot[fn] {
+				out = append(out, Diagnostic{
+					Pos: m.Fset.Position(fn.Pos()),
+					Msg: fmt.Sprintf("constructor %s.%s is exercised by EXPERIMENTS.md's modules but unreachable through the api.go facade", pkg.Types.Name(), name),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// Path is the package's import path, e.g. "detobj/internal/wrn".
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Files holds the parsed non-test source files, in file-name order.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's object resolution for Files.
+	Info *types.Info
+}
+
+// Module is a whole Go module, loaded and type-checked for analysis.
+// Test files (*_test.go) and testdata directories are excluded: the
+// determinism contract binds the shipped code, and tests legitimately
+// use wall clocks and unseeded randomness.
+type Module struct {
+	// Root is the absolute path of the module root (the go.mod directory).
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset positions every file of every package.
+	Fset *token.FileSet
+	// Pkgs lists all packages in import-path order.
+	Pkgs []*Package
+
+	byPath map[string]*Package
+	allows map[string][]allowMark // file name -> allow comments
+}
+
+// allowMark is one parsed //detlint:allow comment.
+type allowMark struct {
+	line      int
+	rules     map[string]bool
+	justified bool
+	pos       token.Position
+}
+
+// Load walks the module rooted at root (its go.mod directory), parses
+// every non-test Go file outside testdata, and type-checks every package
+// using only the standard library's go/parser, go/types and go/importer.
+func Load(root string) (*Module, error) {
+	return LoadWithExtra(root, nil)
+}
+
+// LoadWithExtra is Load plus extra packages: a map from import path to
+// directory, used by the fixture tests to graft testdata packages into
+// the module's package set.
+func LoadWithExtra(root string, extra map[string]string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root:   root,
+		Path:   modPath,
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+		allows: make(map[string][]allowMark),
+	}
+	l := &loader{
+		m:       m,
+		std:     importer.ForCompiler(m.Fset, "source", nil),
+		dirs:    make(map[string]string),
+		loading: make(map[string]bool),
+	}
+	if err := l.discover(); err != nil {
+		return nil, err
+	}
+	extraPaths := make([]string, 0, len(extra))
+	for path := range extra {
+		extraPaths = append(extraPaths, path)
+	}
+	sort.Strings(extraPaths)
+	for _, path := range extraPaths {
+		abs, err := filepath.Abs(extra[path])
+		if err != nil {
+			return nil, err
+		}
+		l.dirs[path] = abs
+	}
+	paths := make([]string, 0, len(l.dirs))
+	for p := range l.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := l.load(p); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range paths {
+		m.Pkgs = append(m.Pkgs, m.byPath[p])
+	}
+	return m, nil
+}
+
+// Lookup returns the loaded package with the given import path, or nil.
+func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// InScope reports whether pkg sits under one of the given top-level
+// directories of the module (e.g. "internal", "cmd").
+func (m *Module) InScope(pkg *Package, tops ...string) bool {
+	if pkg.Path == m.Path {
+		return false
+	}
+	rel := strings.TrimPrefix(pkg.Path, m.Path+"/")
+	for _, top := range tops {
+		if rel == top || strings.HasPrefix(rel, top+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// loader resolves and type-checks packages on demand. Module-internal
+// imports are loaded from source; everything else (the standard library)
+// goes through the source importer.
+type loader struct {
+	m       *Module
+	std     types.Importer
+	dirs    map[string]string // import path -> directory
+	loading map[string]bool   // cycle detection
+}
+
+// discover registers every package directory of the module.
+func (l *loader) discover() error {
+	return filepath.WalkDir(l.m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.m.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		has, err := hasGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if !has {
+			return nil
+		}
+		rel, err := filepath.Rel(l.m.Root, path)
+		if err != nil {
+			return err
+		}
+		imp := l.m.Path
+		if rel != "." {
+			imp = l.m.Path + "/" + filepath.ToSlash(rel)
+		}
+		l.dirs[imp] = path
+		return nil
+	})
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if goSource(e) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func goSource(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+}
+
+// Import implements types.Importer for the type-checker's configuration.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.m.Path || strings.HasPrefix(path, l.m.Path+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks the package at the given module import
+// path (idempotent).
+func (l *loader) load(path string) (*Package, error) {
+	if p, ok := l.m.byPath[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, ok := l.dirs[path]
+	if !ok {
+		// An internal import outside the walked tree (shouldn't happen in
+		// a well-formed module).
+		return nil, fmt.Errorf("lint: unknown module package %q", path)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if !goSource(e) {
+			continue
+		}
+		f, err := parser.ParseFile(l.m.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var tcErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if tcErr == nil {
+				tcErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.m.Fset, files, info)
+	if tcErr != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, tcErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.m.byPath[path] = p
+	l.collectAllows(p)
+	return p, nil
+}
+
+// collectAllows indexes every //detlint:allow comment of the package.
+func (l *loader) collectAllows(p *Package) {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "detlint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				mark := allowMark{
+					pos:   l.m.Fset.Position(c.Pos()),
+					rules: make(map[string]bool),
+				}
+				mark.line = mark.pos.Line
+				if len(fields) > 0 {
+					for _, r := range strings.Split(fields[0], ",") {
+						mark.rules[r] = true
+					}
+					mark.justified = len(fields) > 1
+				}
+				l.m.allows[mark.pos.Filename] = append(l.m.allows[mark.pos.Filename], mark)
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerObjectPurity returns the objectpurity rule. A sim.Object is a
+// pure sequential state machine: the simulator serializes every Apply,
+// records (invocation, response) pairs in the trace, and the model
+// checker clones object state to explore alternative schedules. That
+// story collapses if Apply:
+//
+//   - retains the Invocation's Args slice (the runtime and callers may
+//     reuse it; aliasing couples object state to caller memory — the
+//     interface contract says "must not retain inv.Args");
+//   - mutates package-level state (state outside the object escapes
+//     cloning and replay, so two runs of the same schedule diverge);
+//   - performs I/O (os/io/net/log writes, fmt printing): side effects
+//     are invisible to the trace and unrepeatable under replay.
+func AnalyzerObjectPurity() *Analyzer {
+	return &Analyzer{
+		Name: "objectpurity",
+		Doc:  "sim.Object.Apply must not retain inv.Args, mutate package-level state, or perform I/O",
+		Run:  runObjectPurity,
+	}
+}
+
+// ioPackages are packages whose package-level functions and methods
+// perform I/O.
+var ioPackages = map[string]bool{
+	"os": true, "io": true, "io/ioutil": true, "bufio": true,
+	"net": true, "net/http": true, "log": true, "syscall": true,
+}
+
+// fmtPrintFuncs are the fmt functions that write to a stream.
+var fmtPrintFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runObjectPurity(m *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, am := range applyMethods(m) {
+		out = append(out, checkApplyPurity(m, am)...)
+	}
+	return out
+}
+
+func checkApplyPurity(m *Module, am applyMethod) []Diagnostic {
+	var out []Diagnostic
+	pkg := am.pkg
+	parents := parentMap(am.file)
+	recv := fmt.Sprintf("(%s).Apply", receiverTypeName(am.decl))
+	ast.Inspect(am.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if am.invParam != nil && n.Sel.Name == "Args" {
+				if id, ok := n.X.(*ast.Ident); ok && pkg.Info.Uses[id] == am.invParam {
+					if !readOnlyArgsContext(n, parents, pkg) {
+						out = append(out, Diagnostic{
+							Pos: m.Fset.Position(n.Pos()),
+							Msg: recv + " must not retain inv.Args (index, range, or len it instead)",
+						})
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if v, name := packageLevelTarget(pkg, l); v != nil {
+					out = append(out, Diagnostic{
+						Pos: m.Fset.Position(l.Pos()),
+						Msg: fmt.Sprintf("%s mutates package-level state %q; object state must live in the receiver", recv, name),
+					})
+				}
+			}
+		case *ast.IncDecStmt:
+			if v, name := packageLevelTarget(pkg, n.X); v != nil {
+				out = append(out, Diagnostic{
+					Pos: m.Fset.Position(n.Pos()),
+					Msg: fmt.Sprintf("%s mutates package-level state %q; object state must live in the receiver", recv, name),
+				})
+			}
+		case *ast.CallExpr:
+			if d, ok := ioCall(m, pkg, n); ok {
+				d.Msg = recv + " " + d.Msg
+				out = append(out, d)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// readOnlyArgsContext reports whether a use of inv.Args stays read-only:
+// len/cap argument, indexing base, or range operand.
+func readOnlyArgsContext(sel *ast.SelectorExpr, parents map[ast.Node]ast.Node, pkg *Package) bool {
+	switch p := parents[sel].(type) {
+	case *ast.CallExpr:
+		if b, ok := pkg.Info.Uses[rootIdent(p.Fun)].(*types.Builtin); ok {
+			return b.Name() == "len" || b.Name() == "cap"
+		}
+	case *ast.IndexExpr:
+		return p.X == sel
+	case *ast.RangeStmt:
+		return p.X == sel
+	}
+	return false
+}
+
+// packageLevelTarget reports whether an assignment target's root
+// resolves to a package-level variable (of any package).
+func packageLevelTarget(pkg *Package, e ast.Expr) (*types.Var, string) {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+			continue
+		case *ast.StarExpr:
+			e = x.X
+			continue
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.SelectorExpr:
+			// pkgname.Var, or a field chain rooted at an identifier.
+			if sobj, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && !sobj.IsField() {
+				if isPackageScoped(sobj) {
+					return sobj, x.Sel.Name
+				}
+			}
+			e = x.X
+			continue
+		case *ast.Ident:
+			if v, ok := pkg.Info.Uses[x].(*types.Var); ok && isPackageScoped(v) {
+				return v, x.Name
+			}
+			return nil, ""
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// isPackageScoped reports whether a variable is declared at package
+// scope.
+func isPackageScoped(v *types.Var) bool {
+	if v.IsField() {
+		return false
+	}
+	p := v.Pkg()
+	return p != nil && v.Parent() == p.Scope()
+}
+
+// ioCall flags calls into I/O packages and fmt's printing functions.
+func ioCall(m *Module, pkg *Package, call *ast.CallExpr) (Diagnostic, bool) {
+	id := rootIdent(call.Fun)
+	if id == nil {
+		return Diagnostic{}, false
+	}
+	switch obj := pkg.Info.Uses[id].(type) {
+	case *types.Builtin:
+		if obj.Name() == "print" || obj.Name() == "println" {
+			return Diagnostic{
+				Pos: m.Fset.Position(call.Pos()),
+				Msg: fmt.Sprintf("performs I/O (builtin %s)", obj.Name()),
+			}, true
+		}
+	case *types.Func:
+		p := obj.Pkg()
+		if p == nil {
+			return Diagnostic{}, false
+		}
+		if ioPackages[p.Path()] {
+			return Diagnostic{
+				Pos: m.Fset.Position(call.Pos()),
+				Msg: fmt.Sprintf("performs I/O (%s.%s)", p.Path(), obj.Name()),
+			}, true
+		}
+		if p.Path() == "fmt" && fmtPrintFuncs[obj.Name()] {
+			return Diagnostic{
+				Pos: m.Fset.Position(call.Pos()),
+				Msg: fmt.Sprintf("performs I/O (fmt.%s)", obj.Name()),
+			}, true
+		}
+	}
+	return Diagnostic{}, false
+}

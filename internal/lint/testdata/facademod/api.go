@@ -1,0 +1,9 @@
+// Package facadefix is the root facade of the facadeparity fixture
+// module: it re-exports widget.NewGood and silently omits
+// widget.NewOrphan.
+package facadefix
+
+import "facadefix/internal/widget"
+
+// NewGood re-exports the widget constructor.
+func NewGood(n int) *widget.Widget { return widget.NewGood(n) }

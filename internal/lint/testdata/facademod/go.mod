@@ -1,0 +1,3 @@
+module facadefix
+
+go 1.22

@@ -1,0 +1,9 @@
+package widget
+
+// NewOrphan is reachable nowhere — the rule's positive finding.
+func NewOrphan() *Widget { return &Widget{} }
+
+// NewHidden is intentionally internal and annotated as such.
+//
+//detlint:allow facadeparity fixture: intentionally internal constructor
+func NewHidden() *Widget { return &Widget{} }

@@ -1,0 +1,8 @@
+// Package widget is the facadeparity fixture's one internal module.
+package widget
+
+// Widget is a placeholder component.
+type Widget struct{ n int }
+
+// NewGood is reachable through the root facade.
+func NewGood(n int) *Widget { return &Widget{n: n} }

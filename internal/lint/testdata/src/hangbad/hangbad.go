@@ -1,0 +1,28 @@
+// Package hangbad surfaces bounded-use violations as error values —
+// exactly what the hangsemantics rule forbids inside internal/: a
+// detectable error changes the model the impossibility arguments need.
+package hangbad
+
+import (
+	"errors"
+	"fmt"
+
+	"detobj/internal/sim"
+)
+
+// ErrSlotUsed is a bounded-use sentinel; its use below is flagged.
+var ErrSlotUsed = errors.New("slot already used")
+
+// Bounded errors out instead of hanging.
+type Bounded struct {
+	used bool
+}
+
+// Apply implements sim.Object.
+func (b *Bounded) Apply(_ *sim.Env, inv sim.Invocation) sim.Response {
+	if b.used {
+		return sim.Respond(fmt.Errorf("%w: %s", ErrSlotUsed, inv.Op))
+	}
+	b.used = true
+	return sim.Respond(errors.New("degraded"))
+}

@@ -1,0 +1,57 @@
+// Package nodetok exercises the determinism-safe idioms the
+// nodeterminism rule must accept without findings (plus one justified,
+// annotated exemption).
+package nodetok
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Pick draws from an explicitly seeded source; methods on *rand.Rand
+// are reproducible.
+func Pick(seed int64, n int) int { return rand.New(rand.NewSource(seed)).Intn(n) }
+
+// Sum accumulates commutatively, so iteration order cannot show.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Keys collects in iteration order and launders it with a sort.
+func Keys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Invert writes into another map: per-key effects commute.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Recv waits on a single channel: no nondeterministic choice.
+func Recv(c chan int) int {
+	select {
+	case v := <-c:
+		return v
+	}
+}
+
+// Stamp is the one annotated exemption in the fixtures; the allow
+// comment carries a justification, so the wall-clock read is accepted.
+func Stamp() time.Time {
+	//detlint:allow nodeterminism fixture: demonstrates a justified exemption
+	return time.Now()
+}

@@ -1,0 +1,25 @@
+// Package puritybad implements a sim.Object whose Apply breaks every
+// clause of the purity contract: it retains the Invocation's argument
+// slice, mutates package-level state, and performs I/O.
+package puritybad
+
+import (
+	"fmt"
+
+	"detobj/internal/sim"
+)
+
+var hits int
+
+// Leaky is the impure object.
+type Leaky struct {
+	kept []sim.Value
+}
+
+// Apply implements sim.Object.
+func (l *Leaky) Apply(_ *sim.Env, inv sim.Invocation) sim.Response {
+	l.kept = inv.Args
+	hits++
+	fmt.Println("applied")
+	return sim.Respond(nil)
+}

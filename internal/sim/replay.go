@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+)
+
+// ErrReplayDivergence is returned by Run (wrapped, with detail) when
+// Config.VerifyReplay is set and re-executing a program against the
+// recorded trace produced a different behaviour.
+var ErrReplayDivergence = errors.New("sim: replay diverged from recorded trace")
+
+// verifyReplay re-executes every program against the run's recorded
+// trace and reports the first divergence. The simulator's determinism
+// story rests on programs being pure functions of their invocation
+// results: given the same sequence of object responses, a program must
+// issue the same invocations, record the same marks, and return the
+// same output. Objects cannot be re-run (they carry consumed state), so
+// replay verifies the program side only: each process is re-executed in
+// isolation with responses fed from its recorded per-process event
+// sequence. A program that consults a wall clock, an unseeded random
+// source, or mutable state smuggled across runs in a closure will issue
+// a different invocation or output and fail here.
+//
+// Processes replay sequentially and independently; the Program contract
+// forbids sharing mutable memory between processes, so isolation is
+// sound.
+func verifyReplay(cfg Config, res *Result) error {
+	for id := range cfg.Programs {
+		if res.Status[id] == StatusFailed {
+			// The original run returned an error; Run never reaches
+			// replay with a failed process, but keep the guard local.
+			continue
+		}
+		if err := replayProc(cfg, res, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayProc re-executes one program against its recorded sub-trace.
+func replayProc(cfg Config, res *Result, id int) error {
+	expected := res.Trace.ByProc(id).Events
+	p := &procState{
+		msgCh: make(chan message),
+		resCh: make(chan resume),
+		live:  true,
+	}
+	//detlint:allow nodeterminism sequential playback: this is the only live goroutine and it blocks on resCh between messages, so the exchange is a deterministic handshake
+	go runProgram(id, cfg.Programs[id], p)
+
+	next := 0
+	failf := func(format string, args ...any) error {
+		pos := "event " + fmt.Sprint(next)
+		if next < len(expected) {
+			pos += " " + expected[next].String()
+		}
+		return fmt.Errorf("%w: process %d at %s: %s", ErrReplayDivergence, id, pos, fmt.Sprintf(format, args...))
+	}
+
+	for {
+		m := <-p.msgCh
+		switch m.kind {
+		case msgInvoke:
+			// The goroutine is parked on resCh; abort it before failing.
+			if next >= len(expected) {
+				if res.Status[id] == StatusStopped {
+					// The run stopped with this invocation pending; the
+					// replay confirmed everything that was recorded.
+					abortReplay(p)
+					return nil
+				}
+				abortReplay(p)
+				return failf("extra invocation %s.%s", m.obj, m.inv.Op)
+			}
+			e := expected[next]
+			if e.Kind != EventStep {
+				abortReplay(p)
+				return failf("program invoked %s.%s, trace records a %s mark", m.obj, m.inv.Op, e.Kind)
+			}
+			if e.Object != m.obj || e.Op != m.inv.Op || !reflect.DeepEqual(e.Args, m.inv.Args) {
+				abortReplay(p)
+				return failf("program invoked %s.%s%v", m.obj, m.inv.Op, m.inv.Args)
+			}
+			next++
+			if e.Hang {
+				if res.Status[id] != StatusHung {
+					abortReplay(p)
+					return failf("trace records a hang but process status is %v", res.Status[id])
+				}
+				abortReplay(p)
+				return nil
+			}
+			p.resCh <- resume{value: e.Out}
+		case msgMark:
+			// The goroutine runs on after a mark; drain it to its next
+			// blocking point before failing.
+			if next >= len(expected) {
+				err := failf("extra %s mark on %s.%s", m.markKind, m.obj, m.inv.Op)
+				drain(p)
+				return err
+			}
+			e := expected[next]
+			if e.Kind != m.markKind || e.Object != m.obj || e.Op != m.inv.Op ||
+				!reflect.DeepEqual(e.Args, m.inv.Args) || !reflect.DeepEqual(e.Out, m.markOut) {
+				err := failf("program recorded %s mark %s.%s%v -> %v", m.markKind, m.obj, m.inv.Op, m.inv.Args, m.markOut)
+				drain(p)
+				return err
+			}
+			next++
+		case msgDone:
+			p.live = false
+			if next < len(expected) {
+				return failf("program finished with %d recorded event(s) left", len(expected)-next)
+			}
+			if res.Status[id] != StatusDone {
+				return failf("program finished but recorded status is %v", res.Status[id])
+			}
+			if !reflect.DeepEqual(res.Outputs[id], m.out) {
+				return failf("program output %v, recorded output %v", m.out, res.Outputs[id])
+			}
+			return nil
+		case msgPanic:
+			p.live = false
+			return failf("program panicked: %v", m.err)
+		}
+	}
+}
+
+// abortReplay unwinds a replayed goroutine that is parked on resCh.
+func abortReplay(p *procState) {
+	if p.live {
+		p.live = false
+		p.resCh <- resume{abort: true}
+	}
+}
+
+// drain runs a replayed goroutine forward past any buffered marks until
+// it blocks on resCh (then aborts it) or exits, so a divergence return
+// does not leak a goroutine stuck on an unread channel.
+func drain(p *procState) {
+	for p.live {
+		m := <-p.msgCh
+		switch m.kind {
+		case msgInvoke:
+			abortReplay(p)
+		case msgDone, msgPanic:
+			p.live = false
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestVerifyReplayCleanRun(t *testing.T) {
+	cfg := Config{
+		Objects:      map[string]Object{"C": &testCounter{}},
+		Programs:     []Program{incThenRead(3), incThenRead(2)},
+		VerifyReplay: true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run with VerifyReplay: %v", err)
+	}
+	if !res.AllDone() {
+		t.Fatalf("not all processes finished: %v", res.Status)
+	}
+}
+
+func TestVerifyReplayMarksAndHang(t *testing.T) {
+	// One process hangs (bounded object), the other finishes and records
+	// logical-operation marks; replay must accept both shapes.
+	cfg := Config{
+		Objects: map[string]Object{"C": &testCounter{budget: 3}},
+		Programs: []Program{
+			func(ctx *Ctx) Value {
+				ctx.BeginOp("L", "work")
+				ctx.Invoke("C", "inc")
+				v := ctx.Invoke("C", "read")
+				ctx.EndOp("L", "work", v)
+				return v
+			},
+			incThenRead(5), // exceeds the budget and hangs
+		},
+		Scheduler:    NewFixed(0, 0, 1, 1),
+		VerifyReplay: true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run with VerifyReplay: %v", err)
+	}
+	if res.Status[0] != StatusDone || res.Status[1] != StatusHung {
+		t.Fatalf("statuses = %v %v, want done hung", res.Status[0], res.Status[1])
+	}
+}
+
+func TestVerifyReplayStoppedRun(t *testing.T) {
+	// A scheduler that stops mid-run leaves a pending invocation; replay
+	// of the stopped process must accept the truncated trace.
+	cfg := Config{
+		Objects:      map[string]Object{"C": &testCounter{}},
+		Programs:     []Program{incThenRead(4), incThenRead(4)},
+		Scheduler:    NewFixed(0, 1, 0), // fallback Stop after three steps
+		VerifyReplay: true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run with VerifyReplay: %v", err)
+	}
+	if res.Status[0] != StatusStopped || res.Status[1] != StatusStopped {
+		t.Fatalf("statuses = %v, want both stopped", res.Status)
+	}
+}
+
+func TestVerifyReplayCatchesImpureProgram(t *testing.T) {
+	// The program smuggles state across executions in a closure: the
+	// first execution takes the "inc" branch, the replay takes "read".
+	calls := 0
+	cfg := Config{
+		Objects: map[string]Object{"C": &testCounter{}},
+		Programs: []Program{
+			func(ctx *Ctx) Value {
+				calls++
+				if calls == 1 {
+					return ctx.Invoke("C", "inc")
+				}
+				return ctx.Invoke("C", "read")
+			},
+		},
+		VerifyReplay: true,
+	}
+	_, err := Run(cfg)
+	if !errors.Is(err, ErrReplayDivergence) {
+		t.Fatalf("Run = %v, want ErrReplayDivergence", err)
+	}
+}
+
+func TestVerifyReplayCatchesImpureOutput(t *testing.T) {
+	// Same invocations, different output on the second execution.
+	calls := 0
+	cfg := Config{
+		Objects: map[string]Object{"C": &testCounter{}},
+		Programs: []Program{
+			func(ctx *Ctx) Value {
+				ctx.Invoke("C", "inc")
+				calls++
+				return calls
+			},
+		},
+		VerifyReplay: true,
+	}
+	_, err := Run(cfg)
+	if !errors.Is(err, ErrReplayDivergence) {
+		t.Fatalf("Run = %v, want ErrReplayDivergence", err)
+	}
+}
+
+func TestVerifyReplayDisabledTraceIsNoop(t *testing.T) {
+	// Without a trace there is nothing to replay against; the run must
+	// succeed even for an impure program.
+	calls := 0
+	cfg := Config{
+		Objects: map[string]Object{"C": &testCounter{}},
+		Programs: []Program{
+			func(ctx *Ctx) Value {
+				ctx.Invoke("C", "inc")
+				calls++
+				return calls
+			},
+		},
+		VerifyReplay: true,
+		DisableTrace: true,
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("Run with DisableTrace: %v", err)
+	}
+}

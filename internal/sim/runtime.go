@@ -76,6 +76,12 @@ type Config struct {
 	Choice RandSource
 	// DisableTrace suppresses event recording (for benchmarks).
 	DisableTrace bool
+	// VerifyReplay, when set (and the trace is enabled), re-executes
+	// every program against the recorded trace after the run and fails
+	// with ErrReplayDivergence if any program behaves differently on the
+	// second execution — catching programs that are not pure functions
+	// of their invocation results. See verifyReplay in replay.go.
+	VerifyReplay bool
 }
 
 // ProcStatus is the final status of a process after a run.
@@ -214,6 +220,7 @@ func Run(cfg Config) (*Result, error) {
 			live:  true,
 		}
 		rt.procs[i] = p
+		//detlint:allow nodeterminism lockstep handshake: each goroutine blocks on its private resCh until the scheduler resumes it, so exactly one runs at a time and interleaving is fully schedule-determined
 		go runProgram(i, prog, p)
 	}
 
@@ -240,7 +247,7 @@ func Run(cfg Config) (*Result, error) {
 				rt.procs[id].status = StatusStopped
 			}
 			rt.abortAll()
-			return rt.result(enabled), nil
+			return finish(cfg, rt.result(enabled))
 		}
 		if !contains(enabled, next) {
 			rt.abortAll()
@@ -251,7 +258,17 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
-	return rt.result(nil), nil
+	return finish(cfg, rt.result(nil))
+}
+
+// finish applies the post-run verification pass, if configured.
+func finish(cfg Config, res *Result) (*Result, error) {
+	if cfg.VerifyReplay && !cfg.DisableTrace {
+		if err := verifyReplay(cfg, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 func contains(xs []int, x int) bool {

@@ -32,8 +32,20 @@ type Outcome struct {
 // Participants returns the ids of participating processes in increasing
 // order.
 func (o Outcome) Participants() []int {
-	ids := make([]int, 0, len(o.Inputs))
-	for id := range o.Inputs {
+	return sortedIDs(o.Inputs)
+}
+
+// DecidedIDs returns the ids of processes with an output, in increasing
+// order. Checkers iterate this instead of ranging over Outputs directly so
+// that the first violation reported is deterministic.
+func (o Outcome) DecidedIDs() []int {
+	return sortedIDs(o.Outputs)
+}
+
+// sortedIDs returns the keys of m in increasing order.
+func sortedIDs[V any](m map[int]V) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
@@ -95,7 +107,8 @@ func (s SetConsensus) Check(o Outcome) error {
 	for _, v := range o.Inputs {
 		proposed[v] = struct{}{}
 	}
-	for id, v := range o.Outputs {
+	for _, id := range o.DecidedIDs() {
+		v := o.Outputs[id]
 		if _, ok := proposed[v]; !ok {
 			return fmt.Errorf("%w: validity: process %d decided %v, which no participant proposed", ErrViolation, id, v)
 		}
@@ -118,7 +131,8 @@ func (e Election) Name() string { return fmt.Sprintf("%d-set election", e.K) }
 
 // Check implements Task.
 func (e Election) Check(o Outcome) error {
-	for id, v := range o.Outputs {
+	for _, id := range o.DecidedIDs() {
+		v := o.Outputs[id]
 		elected, ok := v.(int)
 		if !ok {
 			return fmt.Errorf("%w: election: process %d elected non-identifier %v", ErrViolation, id, v)
@@ -148,8 +162,8 @@ func (s StrongElection) Check(o Outcome) error {
 	if err := (Election{K: s.K}).Check(o); err != nil {
 		return err
 	}
-	for id, v := range o.Outputs {
-		elected := v.(int)
+	for _, id := range o.DecidedIDs() {
+		elected := o.Outputs[id].(int)
 		if out, ok := o.Outputs[elected]; ok && out != elected {
 			return fmt.Errorf("%w: self-election: process %d elected %d, but %d elected %v", ErrViolation, id, elected, elected, out)
 		}
@@ -169,7 +183,8 @@ func (r Renaming) Name() string { return fmt.Sprintf("renaming into %d names", r
 // Check implements Task.
 func (r Renaming) Check(o Outcome) error {
 	taken := make(map[int]int, len(o.Outputs))
-	for id, v := range o.Outputs {
+	for _, id := range o.DecidedIDs() {
+		v := o.Outputs[id]
 		name, ok := v.(int)
 		if !ok {
 			return fmt.Errorf("%w: renaming: process %d produced non-integer name %v", ErrViolation, id, v)
@@ -203,8 +218,10 @@ func (ImmediateSnapshot) Name() string { return "immediate snapshot" }
 
 // Check implements Task.
 func (ImmediateSnapshot) Check(o Outcome) error {
+	decided := o.DecidedIDs()
 	views := make(map[int]map[int]sim.Value, len(o.Outputs))
-	for id, raw := range o.Outputs {
+	for _, id := range decided {
+		raw := o.Outputs[id]
 		view, ok := raw.(map[int]sim.Value)
 		if !ok {
 			return fmt.Errorf("%w: immediate snapshot: process %d output %T, want a view", ErrViolation, id, raw)
@@ -213,7 +230,8 @@ func (ImmediateSnapshot) Check(o Outcome) error {
 		if got, ok := view[id]; !ok || got != o.Inputs[id] {
 			return fmt.Errorf("%w: immediate snapshot: process %d's view misses itself (%v)", ErrViolation, id, view)
 		}
-		for q, v := range view {
+		for _, q := range sortedIDs(view) {
+			v := view[q]
 			in, ok := o.Inputs[q]
 			if !ok {
 				return fmt.Errorf("%w: immediate snapshot: process %d saw non-participant %d", ErrViolation, id, q)
@@ -223,14 +241,16 @@ func (ImmediateSnapshot) Check(o Outcome) error {
 			}
 		}
 	}
-	for p, vp := range views {
-		for q, vq := range views {
+	for _, p := range decided {
+		vp := views[p]
+		for _, q := range decided {
+			vq := views[q]
 			if !viewSubset(vp, vq) && !viewSubset(vq, vp) {
 				return fmt.Errorf("%w: immediate snapshot: views of %d and %d incomparable", ErrViolation, p, q)
 			}
 		}
-		for q := range vp {
-			if vq, decided := views[q]; decided && !viewSubset(vq, vp) {
+		for _, q := range sortedIDs(vp) {
+			if vq, ok := views[q]; ok && !viewSubset(vq, vp) {
 				return fmt.Errorf("%w: immediate snapshot: immediacy: %d ∈ V_%d but V_%d ⊄ V_%d", ErrViolation, q, p, q, p)
 			}
 		}
@@ -239,7 +259,7 @@ func (ImmediateSnapshot) Check(o Outcome) error {
 }
 
 func viewSubset(a, b map[int]sim.Value) bool {
-	for k, v := range a {
+	for k, v := range a { //detlint:allow nodeterminism order-independent all-quantifier: any order yields the same boolean
 		if bv, ok := b[k]; !ok || bv != v {
 			return false
 		}

@@ -47,6 +47,8 @@ func NewImplFromRegisters(objects map[string]sim.Object, name string, k int) Imp
 }
 
 // NewImplOver builds Algorithm 5 with a caller-supplied snapshot factory.
+//
+//detlint:allow facadeparity test-wiring hook: the snapshot-factory parameter exists for substitution tests; NewImpl and NewImplFromRegisters are the facade entry points
 func NewImplOver(objects map[string]sim.Object, name string, k int, mkSnap func(snapName string, n int, initial sim.Value) snapshot.Snapshotter) Impl {
 	if k < 2 {
 		panic(fmt.Sprintf("wrn: Algorithm 5 needs k >= 2, got %d", k))

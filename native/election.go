@@ -161,6 +161,7 @@ func (e *Election) Propose(id int, v any) (any, error) {
 		return nil, ErrBadValue
 	}
 	if e.proposed[id].Swap(true) {
+		//detlint:allow hangsemantics documented deviation (see package doc): outside the simulator a hang is just a deadlock, so re-proposal surfaces as ErrIndexUsed
 		return nil, fmt.Errorf("%w: identity %d already proposed", ErrIndexUsed, id)
 	}
 	name := rename(e.snap, id)

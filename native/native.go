@@ -116,6 +116,7 @@ func (w *OneShotWRN) WRN(i int, v any) (any, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.used[i] {
+		//detlint:allow hangsemantics documented deviation (see package doc): a real goroutine cannot be parked undetectably, so reuse surfaces as ErrIndexUsed instead of the model's hang
 		return nil, fmt.Errorf("%w: index %d", ErrIndexUsed, i)
 	}
 	w.used[i] = true
