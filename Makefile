@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint race test test-short bench experiments fuzz clean
+.PHONY: all build vet lint race test test-short bench experiments fuzz chaos clean
 
 all: build vet lint test
 
@@ -37,6 +37,12 @@ experiments:
 	$(GO) run ./cmd/hierarchy
 	$(GO) run ./cmd/modelcheck
 	$(GO) run ./cmd/substrates
+
+# Sweep seeds through the chaos harness on both substrates (see README
+# "Robustness & chaos testing"); failures print the reproducing seed.
+chaos:
+	$(GO) run -race ./cmd/chaos -seeds 25
+	$(GO) test -race -run 'TestSoakChaosAdversaries|TestSoakBoundedNeverHangs' .
 
 # Short fuzzing passes over the property targets.
 fuzz:

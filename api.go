@@ -2,6 +2,7 @@ package detobj
 
 import (
 	"detobj/internal/bgsim"
+	"detobj/internal/chaos"
 	"detobj/internal/consensus"
 	"detobj/internal/core"
 	"detobj/internal/election"
@@ -17,6 +18,7 @@ import (
 	"detobj/internal/tasks"
 	"detobj/internal/universal"
 	"detobj/internal/wrn"
+	"detobj/native"
 )
 
 // Simulator types: the asynchronous shared-memory model.
@@ -359,3 +361,82 @@ func NewIteratedSnapshot(objects map[string]Object, name string, n, rounds int) 
 // equivalence classes under mutual implementability; every class turns
 // out to be a singleton — the paper's "wealth", quantified.
 func PowerClasses(maxN int) [][]SetCons { return core.Classes(maxN) }
+
+// Chaos harness: deterministic fault injection for both substrates (see
+// internal/chaos and DESIGN.md, "Robustness & chaos testing").
+type (
+	// ChaosReport is the structured, seed-reproducible outcome of a
+	// chaos run.
+	ChaosReport = chaos.Report
+	// ChaosInjection is one recorded fault.
+	ChaosInjection = chaos.Injection
+	// ChaosInjectorConfig sets per-mille fault rates for the native
+	// injector's chaos points.
+	ChaosInjectorConfig = chaos.InjectorConfig
+)
+
+// NewChaosReport returns an empty report for the given seed.
+func NewChaosReport(seed int64) *ChaosReport { return chaos.NewReport(seed) }
+
+// NewCrashDuringOp returns the adversary that kills victim after it has
+// taken depth base-object steps inside a logical operation, leaving its
+// partial writes visible.
+func NewCrashDuringOp(inner Scheduler, r *ChaosReport, victim, depth int) Scheduler {
+	return chaos.NewCrashDuringOp(inner, r, victim, depth)
+}
+
+// NewCrashRecovery returns the adversary that crashes victim at step
+// crashAt and lets it re-enter, with its id and local state, window steps
+// later.
+func NewCrashRecovery(inner Scheduler, r *ChaosReport, victim, crashAt, window int) Scheduler {
+	return chaos.NewCrashRecovery(inner, r, victim, crashAt, window)
+}
+
+// NewStall returns the adversary that starves victim during scheduler
+// steps [from, from+window).
+func NewStall(inner Scheduler, r *ChaosReport, victim, from, window int) Scheduler {
+	return chaos.NewStall(inner, r, victim, from, window)
+}
+
+// NewAdaptiveAdversary returns the seeded, history-driven adversary.
+func NewAdaptiveAdversary(seed int64, r *ChaosReport) Scheduler {
+	return chaos.NewAdaptive(seed, r)
+}
+
+// InstrumentScheduler wraps a scheduler stack (outermost) so every
+// scheduled step lands in the report's per-process histogram.
+func InstrumentScheduler(sched Scheduler, r *ChaosReport) Scheduler {
+	return chaos.Instrument(sched, r)
+}
+
+// NewChaosInjector returns the seeded native-substrate injector; its
+// decision at the nth visit of a chaos point is a pure function of
+// (seed, site, n). Pass it to the native objects' SetInjector methods.
+func NewChaosInjector(seed int64, cfg ChaosInjectorConfig, r *ChaosReport) native.Injector {
+	return chaos.NewInjector(seed, cfg, r)
+}
+
+// DefaultChaosInjectorConfig is the chaos driver's native fault profile:
+// aggressive scheduling noise, rare aborts.
+var DefaultChaosInjectorConfig = chaos.DefaultInjectorConfig
+
+// Bounded-wait graceful degradation: the sanctioned crossing of the
+// paper's hang-on-exhaustion boundary. See DESIGN.md for why degrading
+// detectably changes an object's power.
+
+// ErrExhausted is the typed error returned by the Bounded wrappers of
+// both substrates when an operation's budget — steps, attempts or a
+// context deadline — is spent. errors.Is(err, ErrExhausted) identifies
+// it across the facade.
+//
+//detlint:allow hangsemantics re-export of the documented hang-vs-error boundary sentinel
+var ErrExhausted = native.ErrExhausted
+
+// NewBounded wraps a simulator object so that hangs and over-budget
+// callers receive ErrExhausted instead of parking forever. budget bounds
+// each process's steps through the wrapper; 0 means unlimited.
+func NewBounded(inner Object, budget int) Object { return chaos.NewBounded(inner, budget) }
+
+// Exhausted reports whether a value returned through a Bounded wrapper
+// is the typed exhaustion error.
+func Exhausted(v Value) bool { return chaos.Exhausted(v) }

@@ -1,0 +1,182 @@
+// Package chaos is the repository's deterministic fault-injection
+// layer. The paper's objects are *defined* by their behaviour under an
+// adversary — WRN_k must stay safe when processes crash mid-operation
+// and must hang (not err) on exhaustion — so testing them means
+// supplying adversaries systematically, not hoping the scheduler
+// stumbles into one.
+//
+// The package plugs into both execution substrates:
+//
+//   - In the simulator (internal/sim) it provides composable adversary
+//     schedulers — crash-during-operation, crash-recovery, step-stall
+//     starvation and an adaptive, history-driven adversary — that wrap
+//     any inner scheduler and stay fully deterministic: a (seed,
+//     configuration) pair identifies one execution, replay-verified by
+//     sim.Config.VerifyReplay.
+//
+//   - In package native it provides a seeded Injector whose
+//     yield/stall/abort decisions at each chaos point are a pure
+//     function of (seed, site, visit number), so a fault plan
+//     reproduces from its seed even though goroutine interleaving does
+//     not.
+//
+// Every chaos run records into a Report — crash and recovery counts,
+// the longest stall, a per-process step histogram and the full
+// injected-fault log — so a failure reproduces from a single seed.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Injection is one recorded fault.
+type Injection struct {
+	// Step is the scheduler step at which the fault fired (simulator
+	// adversaries) or the site's visit number (native injector).
+	Step int
+	// Proc is the process or participant the fault targeted.
+	Proc int
+	// Site is the native chaos-point name; empty for simulator faults.
+	Site string
+	// Kind names the fault: "crash", "recover", "stall", "yield", "abort".
+	Kind string
+	// Note carries fault-specific detail (e.g. a stall window).
+	Note string
+}
+
+// String renders the injection as one log line.
+func (i Injection) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "step %d: %s P%d", i.Step, i.Kind, i.Proc)
+	if i.Site != "" {
+		fmt.Fprintf(&b, " at %s", i.Site)
+	}
+	if i.Note != "" {
+		fmt.Fprintf(&b, " (%s)", i.Note)
+	}
+	return b.String()
+}
+
+// Report is the structured outcome of a chaos run. Simulator adversaries
+// fill it deterministically; the native injector's entries are
+// deterministic per (site, visit) though their interleaving order
+// follows the goroutine schedule. A Report is safe for concurrent
+// recording.
+type Report struct {
+	// Seed identifies the run; re-running with the same seed and
+	// configuration reproduces the same simulator report byte for byte.
+	Seed int64
+
+	mu sync.Mutex
+	// crashes and recoveries count the respective injected faults.
+	crashes, recoveries int
+	// maxStall is the longest observed consecutive starvation of an
+	// enabled process, in scheduler steps.
+	maxStall int
+	// stepHist counts scheduled steps per process id.
+	stepHist []int
+	// injections is the ordered fault log.
+	injections []Injection
+}
+
+// NewReport returns an empty report for the given seed.
+func NewReport(seed int64) *Report { return &Report{Seed: seed} }
+
+// record appends one fault and bumps the matching counter.
+func (r *Report) record(i Injection) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch i.Kind {
+	case "crash":
+		r.crashes++
+	case "recover":
+		r.recoveries++
+	}
+	r.injections = append(r.injections, i)
+}
+
+// step counts one scheduled step for process id.
+func (r *Report) step(id int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.stepHist) <= id {
+		r.stepHist = append(r.stepHist, 0)
+	}
+	r.stepHist[id]++
+}
+
+// stall reports an observed consecutive starvation of length n steps.
+func (r *Report) stall(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > r.maxStall {
+		r.maxStall = n
+	}
+}
+
+// Crashes returns the number of injected crashes.
+func (r *Report) Crashes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.crashes
+}
+
+// Recoveries returns the number of injected recoveries.
+func (r *Report) Recoveries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recoveries
+}
+
+// MaxStall returns the longest observed consecutive starvation, in
+// scheduler steps.
+func (r *Report) MaxStall() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.maxStall
+}
+
+// StepHist returns a copy of the per-process step histogram.
+func (r *Report) StepHist() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int, len(r.stepHist))
+	copy(out, r.stepHist)
+	return out
+}
+
+// Injections returns a copy of the ordered fault log.
+func (r *Report) Injections() []Injection {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Injection, len(r.injections))
+	copy(out, r.injections)
+	return out
+}
+
+// String renders the report; for simulator runs the rendering is
+// byte-identical across re-runs with the same seed and configuration.
+func (r *Report) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos report (seed %d)\n", r.Seed)
+	fmt.Fprintf(&b, "  crashes: %d  recoveries: %d  max stall: %d\n", r.crashes, r.recoveries, r.maxStall)
+	fmt.Fprintf(&b, "  steps/proc: %v\n", r.stepHist)
+	fmt.Fprintf(&b, "  injections: %d\n", len(r.injections))
+	for _, i := range r.injections {
+		fmt.Fprintf(&b, "    %s\n", i)
+	}
+	return b.String()
+}

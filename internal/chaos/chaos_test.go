@@ -1,0 +1,341 @@
+package chaos
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"detobj/internal/linearize"
+	"detobj/internal/sim"
+	"detobj/internal/wrn"
+)
+
+// alg5Run executes k processes driving wrn.Impl (Algorithm 5) under the
+// given scheduler stack, with replay verification on.
+func alg5Run(t *testing.T, k int, seed int64, sched sim.Scheduler) (*sim.Result, wrn.Impl) {
+	t.Helper()
+	objects := map[string]sim.Object{}
+	impl := wrn.NewImpl(objects, "LW", k)
+	progs := make([]sim.Program, k)
+	for i := 0; i < k; i++ {
+		i := i
+		progs[i] = func(ctx *sim.Ctx) sim.Value {
+			return impl.TracedWRN(ctx, i, 100+i)
+		}
+	}
+	res, err := sim.Run(sim.Config{
+		Objects:      objects,
+		Programs:     progs,
+		Scheduler:    sched,
+		Seed:         seed,
+		MaxSteps:     1 << 18,
+		VerifyReplay: true,
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return res, impl
+}
+
+// traceString flattens a trace for byte-for-byte comparison.
+func traceString(tr sim.Trace) string {
+	var b strings.Builder
+	for _, e := range tr.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// checkHistory asserts the run's history, pending operations included,
+// linearizes against the 1sWRN_k specification.
+func checkHistory(t *testing.T, res *sim.Result, impl wrn.Impl, k int) {
+	t.Helper()
+	done, pending := linearize.OpsWithPending(res.Trace, impl.Name())
+	all := append(done, pending...)
+	if !linearize.Check(wrn.Spec(k), all).OK {
+		t.Fatalf("chaos history not linearizable:\ncompleted %v\npending %v", done, pending)
+	}
+}
+
+// TestCrashDuringOpPartialState kills each victim in turn right after it
+// opens its logical WRN (depth 0) and several base steps deep. The victim
+// ends StatusStopped with its partial writes visible; survivors finish and
+// the history, pending op included, linearizes.
+func TestCrashDuringOpPartialState(t *testing.T) {
+	const k = 4
+	for victim := 0; victim < k; victim++ {
+		for _, depth := range []int{0, 1, 3, 7} {
+			for seed := int64(0); seed < 8; seed++ {
+				r := NewReport(seed)
+				adv := NewCrashDuringOp(sim.NewRandom(seed), r, victim, depth)
+				res, impl := alg5Run(t, k, seed, Instrument(adv, r))
+				// An operation shorter than depth completes before the
+				// crash arms; the victim then survives and no crash is
+				// recorded. At depth 0 the crash always fires.
+				if r.Crashes() == 0 {
+					if depth == 0 {
+						t.Fatalf("victim=%d seed=%d: depth-0 crash never fired", victim, seed)
+					}
+					if res.Status[victim] != sim.StatusDone {
+						t.Fatalf("victim=%d depth=%d seed=%d: no crash recorded but victim status %v",
+							victim, depth, seed, res.Status[victim])
+					}
+				} else if res.Status[victim] != sim.StatusStopped {
+					t.Fatalf("victim=%d depth=%d seed=%d: victim status %v, want stopped",
+						victim, depth, seed, res.Status[victim])
+				}
+				for i := 0; i < k; i++ {
+					if i != victim && res.Status[i] != sim.StatusDone {
+						t.Fatalf("victim=%d depth=%d seed=%d: survivor %d status %v",
+							victim, depth, seed, i, res.Status[i])
+					}
+				}
+				checkHistory(t, res, impl, k)
+			}
+		}
+	}
+}
+
+// TestCrashRecoveryResumes crashes a victim, starves it for a window, and
+// lets it re-enter with its id and local state. Everyone — victim included
+// — must finish, and the report must show the crash/recover pair.
+func TestCrashRecoveryResumes(t *testing.T) {
+	const k = 3
+	for victim := 0; victim < k; victim++ {
+		for seed := int64(0); seed < 8; seed++ {
+			r := NewReport(seed)
+			adv := NewCrashRecovery(sim.NewRandom(seed), r, victim, 5, 40)
+			res, impl := alg5Run(t, k, seed, Instrument(adv, r))
+			if !res.AllDone() {
+				t.Fatalf("victim=%d seed=%d: statuses %v, want all done after recovery",
+					victim, seed, res.Status)
+			}
+			if r.Crashes() != 1 || r.Recoveries() != 1 {
+				t.Fatalf("victim=%d seed=%d: crashes=%d recoveries=%d, want 1/1",
+					victim, seed, r.Crashes(), r.Recoveries())
+			}
+			checkHistory(t, res, impl, k)
+		}
+	}
+}
+
+// TestStallStarvation starves one process for a window; wait-freedom means
+// the others finish during the window and the victim afterwards. The
+// report's max-stall must reflect the starvation.
+func TestStallStarvation(t *testing.T) {
+	const k, window = 3, 60
+	for victim := 0; victim < k; victim++ {
+		for seed := int64(0); seed < 8; seed++ {
+			r := NewReport(seed)
+			adv := NewStall(sim.NewRandom(seed), r, victim, 2, window)
+			res, impl := alg5Run(t, k, seed, Instrument(adv, r))
+			if !res.AllDone() {
+				t.Fatalf("victim=%d seed=%d: statuses %v, want all done", victim, seed, res.Status)
+			}
+			if r.MaxStall() == 0 {
+				t.Fatalf("victim=%d seed=%d: stall window never starved the victim", victim, seed)
+			}
+			if r.MaxStall() > window {
+				t.Fatalf("victim=%d seed=%d: max stall %d exceeds window %d",
+					victim, seed, r.MaxStall(), window)
+			}
+			checkHistory(t, res, impl, k)
+		}
+	}
+}
+
+// TestAdaptiveAdversarySweep drives Algorithm 5 under the history-driven
+// adversary across seeds: replay-verified, linearizable, all done.
+func TestAdaptiveAdversarySweep(t *testing.T) {
+	const k = 4
+	for seed := int64(0); seed < 25; seed++ {
+		r := NewReport(seed)
+		res, impl := alg5Run(t, k, seed, Instrument(NewAdaptive(seed, r), r))
+		if !res.AllDone() {
+			t.Fatalf("seed %d: statuses %v, want all done (adaptive adversary must not block wait-free code)",
+				seed, res.Status)
+		}
+		checkHistory(t, res, impl, k)
+		hist := r.StepHist()
+		total := 0
+		for _, n := range hist {
+			total += n
+		}
+		if total != res.Trace.Steps() {
+			t.Fatalf("seed %d: histogram total %d != trace steps %d", seed, total, res.Trace.Steps())
+		}
+	}
+}
+
+// TestChaosRunsAreReproducible: the same (seed, adversary configuration)
+// must reproduce the trace and the rendered report byte for byte.
+func TestChaosRunsAreReproducible(t *testing.T) {
+	const k = 4
+	for seed := int64(0); seed < 10; seed++ {
+		run := func() (string, string) {
+			r := NewReport(seed)
+			stack := Instrument(NewStall(NewCrashDuringOp(NewAdaptive(seed, r), r, 1, 2), r, 2, 10, 30), r)
+			res, _ := alg5Run(t, k, seed, stack)
+			return traceString(res.Trace), r.String()
+		}
+		t1, r1 := run()
+		t2, r2 := run()
+		if t1 != t2 {
+			t.Fatalf("seed %d: traces differ between identical runs", seed)
+		}
+		if r1 != r2 {
+			t.Fatalf("seed %d: reports differ between identical runs:\n--- first\n%s--- second\n%s", seed, r1, r2)
+		}
+		if r1 == "" || !strings.Contains(r1, "seed") {
+			t.Fatalf("seed %d: implausible report rendering %q", seed, r1)
+		}
+	}
+}
+
+// TestComposedAdversaries stacks crash + stall over the adaptive adversary
+// and checks the run stays safe and consistent with the report.
+func TestComposedAdversaries(t *testing.T) {
+	const k = 4
+	for seed := int64(0); seed < 10; seed++ {
+		r := NewReport(seed)
+		stack := Instrument(NewStall(NewCrashDuringOp(NewAdaptive(seed, r), r, 3, 1), r, 0, 5, 25), r)
+		res, impl := alg5Run(t, k, seed, stack)
+		if res.Status[3] != sim.StatusStopped {
+			t.Fatalf("seed %d: crash victim status %v", seed, res.Status[3])
+		}
+		for i := 0; i < 3; i++ {
+			if res.Status[i] != sim.StatusDone {
+				t.Fatalf("seed %d: survivor %d status %v", seed, i, res.Status[i])
+			}
+		}
+		checkHistory(t, res, impl, k)
+	}
+}
+
+// TestBoundedConvertsHangToErrExhausted: a 1sWRN index reuse normally
+// hangs the caller undetectably; through Bounded the caller gets the typed
+// ErrExhausted and finishes.
+func TestBoundedConvertsHangToErrExhausted(t *testing.T) {
+	objects := map[string]sim.Object{
+		"W": NewBounded(wrn.NewOneShot(2), 0),
+	}
+	progs := []sim.Program{
+		func(ctx *sim.Ctx) sim.Value {
+			ctx.Invoke("W", "WRN", 0, "first")
+			return ctx.Invoke("W", "WRN", 0, "second") // illegal reuse
+		},
+	}
+	res, err := sim.Run(sim.Config{Objects: objects, Programs: progs, VerifyReplay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status[0] != sim.StatusDone {
+		t.Fatalf("caller status %v, want done (Bounded must never hang)", res.Status[0])
+	}
+	if !Exhausted(res.Outputs[0]) {
+		t.Fatalf("output %v, want ErrExhausted", res.Outputs[0])
+	}
+	e, ok := res.Outputs[0].(error)
+	if !ok || !errors.Is(e, ErrExhausted) {
+		t.Fatalf("output %v does not satisfy errors.Is(·, ErrExhausted)", res.Outputs[0])
+	}
+}
+
+// TestBoundedStepBudget: once a process spends its per-process budget the
+// wrapper degrades instead of letting it spin.
+func TestBoundedStepBudget(t *testing.T) {
+	objects := map[string]sim.Object{
+		"W": NewBounded(wrn.New(4), 3),
+	}
+	progs := []sim.Program{
+		func(ctx *sim.Ctx) sim.Value {
+			for i := 0; i < 10; i++ {
+				if v := ctx.Invoke("W", "WRN", i%4, i); Exhausted(v) {
+					return v
+				}
+			}
+			return "never exhausted"
+		},
+	}
+	res, err := sim.Run(sim.Config{Objects: objects, Programs: progs, VerifyReplay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Exhausted(res.Outputs[0]) {
+		t.Fatalf("output %v, want ErrExhausted after 3-step budget", res.Outputs[0])
+	}
+}
+
+// TestBoundedDoesNotDisturbLegalRuns: under budgetless wrapping a legal
+// run behaves exactly as without the wrapper — no spurious errors.
+func TestBoundedDoesNotDisturbLegalRuns(t *testing.T) {
+	const k = 3
+	objects := map[string]sim.Object{
+		"W": NewBounded(wrn.NewOneShot(k), 0),
+	}
+	progs := make([]sim.Program, k)
+	for i := 0; i < k; i++ {
+		i := i
+		progs[i] = func(ctx *sim.Ctx) sim.Value {
+			return ctx.Invoke("W", "WRN", i, 100+i)
+		}
+	}
+	res, err := sim.Run(sim.Config{Objects: objects, Programs: progs, VerifyReplay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range res.Outputs {
+		if Exhausted(out) {
+			t.Fatalf("process %d spuriously exhausted on a legal one-shot use", i)
+		}
+	}
+}
+
+// TestInjectorPlanIsSeedDeterministic: the native injector's fault plan is
+// a pure function of (seed, site, visit), so two injectors with one seed
+// agree and the live At sequence matches the precomputed plan.
+func TestInjectorPlanIsSeedDeterministic(t *testing.T) {
+	const site, n = "wrn.locked", 200
+	for seed := int64(0); seed < 20; seed++ {
+		a := NewInjector(seed, DefaultInjectorConfig, nil)
+		b := NewInjector(seed, DefaultInjectorConfig, nil)
+		plan := a.Plan(site, n)
+		for i, want := range plan {
+			if got := b.At(site, 0); got != want {
+				t.Fatalf("seed %d visit %d: At=%v, plan=%v", seed, i, got, want)
+			}
+		}
+	}
+}
+
+// TestInjectorPlansVaryAcrossSeeds: different seeds must not share one
+// plan (else the sweep explores a single fault pattern).
+func TestInjectorPlansVaryAcrossSeeds(t *testing.T) {
+	const site, n = "election.round", 300
+	base := NewInjector(1, DefaultInjectorConfig, nil).Plan(site, n)
+	varied := false
+	for seed := int64(2); seed < 8; seed++ {
+		p := NewInjector(seed, DefaultInjectorConfig, nil).Plan(site, n)
+		for i := range p {
+			if p[i] != base[i] {
+				varied = true
+			}
+		}
+	}
+	if !varied {
+		t.Fatal("300-entry fault plans identical across 7 seeds")
+	}
+}
+
+// TestInjectorRecordsIntoReport: injected faults land in the shared
+// report's fault log with the site attached.
+func TestInjectorRecordsIntoReport(t *testing.T) {
+	r := NewReport(3)
+	inj := NewInjector(3, InjectorConfig{AbortPermille: 1000}, r)
+	inj.At("wrn.enter", 7)
+	logged := r.Injections()
+	if len(logged) != 1 || logged[0].Kind != "abort" || logged[0].Site != "wrn.enter" || logged[0].Proc != 7 {
+		t.Fatalf("injection log %v, want one abort at wrn.enter by P7", logged)
+	}
+}

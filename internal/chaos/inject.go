@@ -1,0 +1,94 @@
+package chaos
+
+// The native half of the harness: a seeded native.Injector. Goroutine
+// interleaving is inherently irreproducible, so determinism is pinned
+// where it can be: the fault injected at the nth visit of a chaos point
+// is a pure function of (seed, site, n), independent of which goroutine
+// gets there. A failing run's fault *plan* therefore reproduces from
+// its seed even though the interleaving around it varies.
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"detobj/native"
+)
+
+// InjectorConfig sets per-mille rates for each fault kind at every
+// chaos point. The rates are checked in order abort, stall, yield and
+// must sum to at most 1000.
+type InjectorConfig struct {
+	AbortPermille int
+	StallPermille int
+	YieldPermille int
+}
+
+// DefaultInjectorConfig perturbs scheduling aggressively but aborts
+// rarely, the profile used by the chaos driver's native scenarios.
+var DefaultInjectorConfig = InjectorConfig{AbortPermille: 5, StallPermille: 50, YieldPermille: 250}
+
+// Injector is a seeded native.Injector recording into a Report.
+type Injector struct {
+	seed   int64
+	cfg    InjectorConfig
+	report *Report
+
+	mu     sync.Mutex
+	visits map[string]int
+}
+
+// NewInjector returns a seeded injector; r may be nil.
+func NewInjector(seed int64, cfg InjectorConfig, r *Report) *Injector {
+	return &Injector{seed: seed, cfg: cfg, report: r, visits: make(map[string]int)}
+}
+
+// At implements native.Injector.
+func (in *Injector) At(site string, id int) native.Fault {
+	in.mu.Lock()
+	n := in.visits[site]
+	in.visits[site] = n + 1
+	in.mu.Unlock()
+	f := in.decide(site, n)
+	switch f {
+	case native.FaultAbort:
+		in.report.record(Injection{Step: n, Proc: id, Site: site, Kind: "abort"})
+	case native.FaultStall:
+		in.report.record(Injection{Step: n, Proc: id, Site: site, Kind: "stall"})
+	case native.FaultYield:
+		in.report.record(Injection{Step: n, Proc: id, Site: site, Kind: "yield"})
+	}
+	return f
+}
+
+// decide maps (seed, site, visit) to a fault, deterministically.
+func (in *Injector) decide(site string, visit int) native.Fault {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(in.seed >> (8 * i))
+		buf[8+i] = byte(visit >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(site))
+	r := int(h.Sum64() % 1000)
+	switch {
+	case r < in.cfg.AbortPermille:
+		return native.FaultAbort
+	case r < in.cfg.AbortPermille+in.cfg.StallPermille:
+		return native.FaultStall
+	case r < in.cfg.AbortPermille+in.cfg.StallPermille+in.cfg.YieldPermille:
+		return native.FaultYield
+	default:
+		return native.FaultNone
+	}
+}
+
+// Plan returns the deterministic fault plan for a site's first n
+// visits — what the injector will order, independent of scheduling.
+func (in *Injector) Plan(site string, n int) []native.Fault {
+	out := make([]native.Fault, n)
+	for i := range out {
+		out[i] = in.decide(site, i)
+	}
+	return out
+}

@@ -20,6 +20,9 @@
 //   - facadeparity: every exported constructor of a module referenced by
 //     EXPERIMENTS.md's module index is reachable through the api.go
 //     facade.
+//   - schedulecoverage: test packages that drive sim.Run must vary the
+//     schedule beyond the default round-robin — a seeded random sweep, a
+//     crashing schedule, a chaos adversary, or exhaustive exploration.
 //
 // A finding can be suppressed with an inline escape comment on the same
 // or preceding line:
@@ -69,6 +72,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerObjectPurity(),
 		AnalyzerHangSemantics(),
 		AnalyzerFacadeParity(),
+		AnalyzerScheduleCoverage(),
 	}
 }
 

@@ -26,6 +26,8 @@ func loadFixtures(t *testing.T) []Diagnostic {
 			"detobj/internal/lintfixture/purityok":  "testdata/src/purityok",
 			"detobj/internal/lintfixture/hangbad":   "testdata/src/hangbad",
 			"detobj/internal/lintfixture/hangok":    "testdata/src/hangok",
+			"detobj/internal/lintfixture/schedbad":  "testdata/src/schedbad",
+			"detobj/internal/lintfixture/schedok":   "testdata/src/schedok",
 		})
 		if err != nil {
 			fixtureErr = err
@@ -71,6 +73,7 @@ func TestFixturesFlagSeededViolations(t *testing.T) {
 		{"hangbad", "hangsemantics", "constructs an error (errors.New)"},
 		{"hangbad", "hangsemantics", "responds with an error value"},
 		{"hangbad", "hangsemantics", "bounded-use violation surfaced as error ErrSlotUsed"},
+		{"schedbad", "schedulecoverage", "only under the default round-robin schedule"},
 	}
 	for _, want := range expect {
 		found := false
@@ -88,7 +91,7 @@ func TestFixturesFlagSeededViolations(t *testing.T) {
 
 func TestFixturesAcceptSafeIdioms(t *testing.T) {
 	diags := loadFixtures(t)
-	for _, clean := range []string{"nodetok", "purityok", "hangok"} {
+	for _, clean := range []string{"nodetok", "purityok", "hangok", "schedok"} {
 		for _, d := range inFile(diags, clean) {
 			t.Errorf("unexpected finding in clean fixture %s: %s", clean, d)
 		}

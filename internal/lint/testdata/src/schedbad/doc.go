@@ -1,0 +1,3 @@
+// Package schedbad is a schedulecoverage fixture: its test file drives
+// sim.Run under nothing but the default round-robin schedule.
+package schedbad

@@ -1,0 +1,18 @@
+package schedbad
+
+import (
+	"testing"
+
+	"detobj/internal/sim"
+)
+
+// TestOnlyRoundRobin runs the simulator twice and never varies the
+// schedule: the default (nil) scheduler and an explicit round-robin.
+func TestOnlyRoundRobin(t *testing.T) {
+	if _, err := sim.Run(sim.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(sim.Config{Scheduler: sim.NewRoundRobin()}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,4 @@
+// Package schedok is a schedulecoverage fixture: its test file sweeps
+// seeded random schedules alongside the default, which is exactly the
+// coverage the rule demands.
+package schedok

@@ -1,0 +1,20 @@
+package schedok
+
+import (
+	"testing"
+
+	"detobj/internal/sim"
+)
+
+// TestSweepsSchedules varies the schedule: a round-robin baseline plus a
+// seeded random sweep.
+func TestSweepsSchedules(t *testing.T) {
+	if _, err := sim.Run(sim.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		if _, err := sim.Run(sim.Config{Scheduler: sim.NewRandom(seed)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

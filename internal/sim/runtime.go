@@ -213,6 +213,9 @@ func Run(cfg Config) (*Result, error) {
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		procs: make([]*procState, n),
 	}
+	if o, ok := sched.(Observer); ok {
+		rt.obs = o
+	}
 	for i, prog := range cfg.Programs {
 		p := &procState{
 			msgCh: make(chan message),
@@ -251,7 +254,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if !contains(enabled, next) {
 			rt.abortAll()
-			return nil, fmt.Errorf("%w: process %d at step %d", ErrBadSchedule, next, rt.steps)
+			return nil, fmt.Errorf("%w: process %d at step %d (enabled: %v)", ErrBadSchedule, next, rt.steps, enabled)
 		}
 		if err := rt.step(next); err != nil {
 			rt.abortAll()
@@ -283,6 +286,7 @@ func contains(xs []int, x int) bool {
 type runtime struct {
 	cfg   Config
 	rng   *rand.Rand
+	obs   Observer // scheduler's event tap, if it implements Observer
 	procs []*procState
 	steps int
 	seq   int
@@ -381,11 +385,14 @@ func (rt *runtime) settle(id int) error {
 }
 
 func (rt *runtime) record(e Event) {
+	e.Seq = rt.seq
+	rt.seq++
+	if rt.obs != nil {
+		rt.obs.Observe(e)
+	}
 	if rt.cfg.DisableTrace {
 		return
 	}
-	e.Seq = rt.seq
-	rt.seq++
 	rt.trace.Events = append(rt.trace.Events, e)
 }
 

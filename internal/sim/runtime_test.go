@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	gort "runtime"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -168,11 +169,74 @@ func TestRunStopScheduler(t *testing.T) {
 func TestRunBadSchedule(t *testing.T) {
 	cfg := Config{
 		Objects:   map[string]Object{"C": &testCounter{}},
-		Programs:  []Program{incThenRead(1)},
+		Programs:  []Program{incThenRead(1), incThenRead(1)},
 		Scheduler: Func(func(View) int { return 7 }),
 	}
-	if _, err := Run(cfg); !errors.Is(err, ErrBadSchedule) {
+	_, err := Run(cfg)
+	if !errors.Is(err, ErrBadSchedule) {
 		t.Fatalf("err = %v, want ErrBadSchedule", err)
+	}
+	// The error must name the enabled set, so a bad adversary is
+	// debuggable from the message alone.
+	if want := "(enabled: [0 1])"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("err = %q, want it to contain %q", err, want)
+	}
+}
+
+// observingScheduler records every observed event kind and defers to
+// round-robin for scheduling.
+type observingScheduler struct {
+	RoundRobin
+	seen []Event
+}
+
+func (o *observingScheduler) Observe(e Event) { o.seen = append(o.seen, e) }
+
+func TestSchedulerObserverSeesEvents(t *testing.T) {
+	marked := func(ctx *Ctx) Value {
+		ctx.BeginOp("L", "op")
+		ctx.Invoke("C", "inc")
+		v := ctx.Invoke("C", "read")
+		ctx.EndOp("L", "op", v)
+		return v
+	}
+	obs := &observingScheduler{}
+	res, err := Run(Config{
+		Objects:   map[string]Object{"C": &testCounter{}},
+		Programs:  []Program{marked, marked},
+		Scheduler: obs,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(obs.seen) != res.Trace.Len() {
+		t.Fatalf("observer saw %d events, trace has %d", len(obs.seen), res.Trace.Len())
+	}
+	for i, e := range obs.seen {
+		if e.String() != res.Trace.Events[i].String() {
+			t.Fatalf("event %d: observer saw %s, trace records %s", i, e, res.Trace.Events[i])
+		}
+	}
+}
+
+func TestSchedulerObserverWithDisabledTrace(t *testing.T) {
+	// Observation is independent of trace recording: adversaries keep
+	// working in benchmark-style runs.
+	obs := &observingScheduler{}
+	res, err := Run(Config{
+		Objects:      map[string]Object{"C": &testCounter{}},
+		Programs:     []Program{incThenRead(2)},
+		Scheduler:    obs,
+		DisableTrace: true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Trace.Len() != 0 {
+		t.Fatalf("trace recorded %d events despite DisableTrace", res.Trace.Len())
+	}
+	if len(obs.seen) != 3 {
+		t.Fatalf("observer saw %d events, want 3", len(obs.seen))
 	}
 }
 

@@ -38,6 +38,19 @@ type Scheduler interface {
 	Next(v View) int
 }
 
+// Observer is an optional interface for schedulers. A scheduler that
+// implements it is shown every event the runtime records (steps and
+// BeginOp/EndOp marks), in order, before its next Next call. This keeps
+// the adversary within the standard asynchronous model — it observes
+// only the public history of invocations and responses, never private
+// object state — while letting it react to the *structure* of the
+// history: the chaos adversaries use it to kill a process after it has
+// begun a logical operation but before that operation responds.
+// Observation is independent of Config.DisableTrace.
+type Observer interface {
+	Observe(e Event)
+}
+
 // Func adapts a plain function to the Scheduler interface.
 type Func func(v View) int
 

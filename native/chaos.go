@@ -1,0 +1,92 @@
+package native
+
+// Chaos points: injectable yield/stall/abort hooks threaded through the
+// hot paths of every native object (WRN cells, the snapshot, renaming,
+// the election protocol). In production the injector is nil and every
+// point compiles down to a nil check; under test, a seeded injector
+// (internal/chaos.NewInjector) perturbs scheduling and kills operations
+// mid-flight so the safety properties can be exercised under adversity
+// that plain goroutine interleaving rarely produces.
+//
+// A point is identified by a stable site name (e.g. "election.rename.update")
+// plus the participant id, so injectors can target a specific layer of a
+// specific process. The *decisions* of a seeded injector are a pure
+// function of (seed, site, visit count) and therefore reproducible even
+// though goroutine interleaving is not.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+)
+
+// Fault is the action an Injector orders at a chaos point.
+type Fault int
+
+const (
+	// FaultNone does nothing; the operation proceeds undisturbed.
+	FaultNone Fault = iota
+	// FaultYield yields the processor once, perturbing the interleaving.
+	FaultYield
+	// FaultStall parks the goroutine in a bounded cooperative-yield loop,
+	// modelling a process that is starved for a window but not dead.
+	FaultStall
+	// FaultAbort kills the operation: it unwinds immediately with
+	// ErrAborted, leaving whatever shared state it already wrote visible
+	// to every other participant — the crash-during-operation adversary.
+	FaultAbort
+)
+
+// String implements fmt.Stringer.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultYield:
+		return "yield"
+	case FaultStall:
+		return "stall"
+	case FaultAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("Fault(%d)", int(f))
+	}
+}
+
+// Injector decides what happens at each chaos point. Implementations
+// must be safe for concurrent use; they are called from every
+// participant goroutine.
+type Injector interface {
+	// At is consulted once per visit of a chaos point. site names the
+	// code location, id the participant (or index) passing through it.
+	At(site string, id int) Fault
+}
+
+// ErrAborted reports that a chaos point killed the operation mid-flight.
+// Shared state already written by the operation remains visible — the
+// abort models a process crash, not a rollback.
+var ErrAborted = errors.New("native: operation aborted at a chaos point")
+
+// stallIters bounds a FaultStall: long enough to upset timing-dependent
+// assumptions, short enough to never look like a hang.
+const stallIters = 256
+
+// chaosPoint consults the injector (nil injectors are free) and carries
+// out the ordered fault. FaultAbort surfaces as a non-nil error the
+// caller must propagate without cleaning up shared state.
+func chaosPoint(inj Injector, site string, id int) error {
+	if inj == nil {
+		return nil
+	}
+	switch inj.At(site, id) {
+	case FaultYield:
+		runtime.Gosched()
+	case FaultStall:
+		for i := 0; i < stallIters; i++ {
+			runtime.Gosched()
+		}
+	case FaultAbort:
+		return fmt.Errorf("%w: %s (participant %d)", ErrAborted, site, id)
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+package native
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// scriptInjector injects a scripted fault at the nth visit of a site by
+// a given id, once; every other visit passes clean.
+type scriptInjector struct {
+	mu     sync.Mutex
+	site   string
+	id     int
+	fault  Fault
+	fired  bool
+	visits map[string]int
+}
+
+func newScriptInjector(site string, id int, fault Fault) *scriptInjector {
+	return &scriptInjector{site: site, id: id, fault: fault, visits: make(map[string]int)}
+}
+
+func (s *scriptInjector) At(site string, id int) Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.visits[site]++
+	if !s.fired && site == s.site && id == s.id {
+		s.fired = true
+		return s.fault
+	}
+	return FaultNone
+}
+
+// abortSites are the election chaos points at which a participant can
+// crash, ordered from "before any shared write" to "deepest partial
+// state" (counter won, one-shot write never issued).
+var abortSites = []string{
+	"election.propose",
+	"election.rename.update",
+	"election.rename.scan",
+	"election.round",
+	"election.rlx.won",
+}
+
+// TestElectionAbortMidPropose kills one participant goroutine mid-
+// Propose at every chaos point in turn and asserts the surviving
+// participants still satisfy the election safety properties: every
+// decision is some participant's proposal, and at most k−1 distinct
+// values are decided.
+func TestElectionAbortMidPropose(t *testing.T) {
+	const k, m = 3, 16
+	ids := []int{2, 9, 14}
+	for _, site := range abortSites {
+		for round := 0; round < 100; round++ {
+			victim := ids[round%len(ids)]
+			e := NewElection(k, m)
+			inj := newScriptInjector(site, victim, FaultAbort)
+			e.SetInjector(inj)
+			decisions := make([]any, len(ids))
+			errs := make([]error, len(ids))
+			var wg sync.WaitGroup
+			for p, id := range ids {
+				p, id := p, id
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					decisions[p], errs[p] = e.Propose(id, 1000+id)
+				}()
+			}
+			wg.Wait()
+			proposed := map[any]bool{}
+			for _, id := range ids {
+				proposed[1000+id] = true
+			}
+			distinct := map[any]bool{}
+			aborted := 0
+			for p, err := range errs {
+				if err != nil {
+					if !errors.Is(err, ErrAborted) {
+						t.Fatalf("site %s round %d: participant %d failed with %v, want ErrAborted", site, round, p, err)
+					}
+					aborted++
+					continue
+				}
+				if !proposed[decisions[p]] {
+					t.Fatalf("site %s round %d: participant %d decided unproposed %v", site, round, p, decisions[p])
+				}
+				distinct[decisions[p]] = true
+			}
+			if aborted != 1 {
+				t.Fatalf("site %s round %d: %d aborts, want exactly 1", site, round, aborted)
+			}
+			if len(distinct) > k-1 {
+				t.Fatalf("site %s round %d: %d distinct decisions among survivors, bound %d", site, round, len(distinct), k-1)
+			}
+		}
+	}
+}
+
+// TestSetConsensusAbortMidPropose crashes one participant inside the
+// one-shot WRN write path; the survivors must stay within the agreement
+// guarantee and decide only proposed values.
+func TestSetConsensusAbortMidPropose(t *testing.T) {
+	const n, wk = 6, 3
+	for round := 0; round < 150; round++ {
+		victim := round % n
+		s := NewSetConsensus(n, wk)
+		s.SetInjector(newScriptInjector("oneshot.enter", victim%wk, FaultAbort))
+		decisions := make([]any, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			id := id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				decisions[id], errs[id] = s.Propose(id, 100+id)
+			}()
+		}
+		wg.Wait()
+		distinct := map[any]bool{}
+		for id, err := range errs {
+			if err != nil {
+				if !errors.Is(err, ErrAborted) {
+					t.Fatalf("round %d: participant %d failed with %v", round, id, err)
+				}
+				continue
+			}
+			v, ok := decisions[id].(int)
+			if !ok || v < 100 || v >= 100+n {
+				t.Fatalf("round %d: participant %d decided unproposed %v", round, id, decisions[id])
+			}
+			distinct[v] = true
+		}
+		if len(distinct) > s.Guarantee() {
+			t.Fatalf("round %d: %d distinct decisions, guarantee %d", round, len(distinct), s.Guarantee())
+		}
+	}
+}
+
+// TestWRNAbortLeavesObjectClean: the wrn.locked abort point sits before
+// the write, so an aborted operation must leave no partial state and
+// the index stays usable.
+func TestWRNAbortLeavesObjectClean(t *testing.T) {
+	w := NewOneShotWRN(3)
+	w.SetInjector(newScriptInjector("oneshot.locked", 1, FaultAbort))
+	if _, err := w.WRN(1, "v"); !errors.Is(err, ErrAborted) {
+		t.Fatalf("first WRN err = %v, want ErrAborted", err)
+	}
+	got, err := w.WRN(1, "v2")
+	if err != nil || !IsBottom(got) {
+		t.Fatalf("retry after abort = %v, %v; want ⊥, nil (abort must not burn the index)", got, err)
+	}
+}
+
+// TestYieldAndStallPreserveSafety drives the election with constant
+// yield/stall injection on every layer; the bounds must hold exactly as
+// without chaos.
+func TestYieldAndStallPreserveSafety(t *testing.T) {
+	everyOther := &cycleInjector{faults: []Fault{FaultYield, FaultNone, FaultStall, FaultNone}}
+	const k, m = 4, 32
+	ids := []int{5, 11, 23, 29}
+	for round := 0; round < 50; round++ {
+		e := NewElection(k, m)
+		e.SetInjector(everyOther)
+		decisions := make([]any, len(ids))
+		var wg sync.WaitGroup
+		for p, id := range ids {
+			p, id := p, id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out, err := e.Propose(id, 1000+id)
+				if err != nil {
+					t.Errorf("round %d id %d: %v", round, id, err)
+					return
+				}
+				decisions[p] = out
+			}()
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		proposed := map[any]bool{}
+		for _, id := range ids {
+			proposed[1000+id] = true
+		}
+		distinct := map[any]bool{}
+		for p, d := range decisions {
+			if !proposed[d] {
+				t.Fatalf("round %d: participant %d decided unproposed %v", round, p, d)
+			}
+			distinct[d] = true
+		}
+		if len(distinct) > k-1 {
+			t.Fatalf("round %d: %d distinct decisions, bound %d", round, len(distinct), k-1)
+		}
+	}
+}
+
+// cycleInjector cycles through a fixed fault sequence regardless of
+// site, exercising yields and stalls everywhere.
+type cycleInjector struct {
+	mu     sync.Mutex
+	n      int
+	faults []Fault
+}
+
+func (c *cycleInjector) At(string, int) Fault {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := c.faults[c.n%len(c.faults)]
+	c.n++
+	return f
+}
+
+func TestBoundedDoRetriesAborts(t *testing.T) {
+	calls := 0
+	v, err := BoundedDo(context.Background(), Budget{Attempts: 3, Backoff: 2}, func() (any, error) {
+		calls++
+		if calls < 3 {
+			return nil, ErrAborted
+		}
+		return "ok", nil
+	})
+	if err != nil || v != "ok" {
+		t.Fatalf("BoundedDo = %v, %v; want ok, nil", v, err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestBoundedDoExhaustsAttempts(t *testing.T) {
+	_, err := BoundedDo(context.Background(), Budget{Attempts: 2}, func() (any, error) {
+		return nil, ErrAborted
+	})
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestBoundedDoMapsIndexUsed(t *testing.T) {
+	w := NewOneShotWRN(2)
+	if _, err := w.WRN(0, "v"); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+	b := BoundedOneShotWRN{W: w, B: Budget{Attempts: 3}}
+	_, err := b.WRN(context.Background(), 0, "again")
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("reuse err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestBoundedDoRespectsDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := BoundedDo(ctx, Budget{Attempts: 5}, func() (any, error) {
+		t.Error("op ran under a dead context")
+		return nil, nil
+	})
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestBoundedDoPassesOtherErrors(t *testing.T) {
+	w := NewWRN(2)
+	b := BoundedWRN{W: w, B: Budget{Attempts: 2}}
+	if _, err := b.WRN(context.Background(), 9, "v"); !errors.Is(err, ErrBadIndex) {
+		t.Fatalf("err = %v, want ErrBadIndex verbatim (no spurious exhaustion)", err)
+	}
+	got, err := b.WRN(context.Background(), 0, "v")
+	if err != nil || !IsBottom(got) {
+		t.Fatalf("clean bounded WRN = %v, %v", got, err)
+	}
+}
+
+// TestBoundedElectionUnderAbort: the crashed participant degrades to
+// ErrExhausted (its identity is burned), everyone else decides within
+// the bound — never a hang, never a spurious error.
+func TestBoundedElectionUnderAbort(t *testing.T) {
+	const k, m = 3, 16
+	ids := []int{2, 9, 14}
+	for round := 0; round < 60; round++ {
+		victim := ids[round%len(ids)]
+		e := NewElection(k, m)
+		e.SetInjector(newScriptInjector("election.rename.scan", victim, FaultAbort))
+		decisions := make([]any, len(ids))
+		errs := make([]error, len(ids))
+		var wg sync.WaitGroup
+		for p, id := range ids {
+			p, id := p, id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b := BoundedElection{E: e, B: Budget{Attempts: 2, Backoff: 1}}
+				decisions[p], errs[p] = b.Propose(context.Background(), id, 1000+id)
+			}()
+		}
+		wg.Wait()
+		exhausted := 0
+		distinct := map[any]bool{}
+		for p, err := range errs {
+			switch {
+			case err == nil:
+				distinct[decisions[p]] = true
+			case errors.Is(err, ErrExhausted):
+				exhausted++
+			default:
+				t.Fatalf("round %d: participant %d got %v, want nil or ErrExhausted", round, p, err)
+			}
+		}
+		if exhausted != 1 {
+			t.Fatalf("round %d: %d exhausted participants, want exactly the victim", round, exhausted)
+		}
+		if len(distinct) > k-1 {
+			t.Fatalf("round %d: %d distinct decisions, bound %d", round, len(distinct), k-1)
+		}
+	}
+}

@@ -47,10 +47,19 @@ type renameSlot struct {
 
 // rename acquires a name in {0..2K−2} for the participant with original
 // id, by snapshot-based rank renaming (at most K concurrent participants).
-func rename(snap *snapshot, id int) int {
+// An abort at either chaos point models a crash mid-renaming: the
+// participant's announcement stays in the snapshot for everyone else to
+// see, but it never acquires a name.
+func rename(snap *snapshot, inj Injector, id int) (int, error) {
 	prop := 1
 	for {
+		if err := chaosPoint(inj, "election.rename.update", id); err != nil {
+			return 0, err
+		}
 		snap.update(id, renameSlot{id: id, prop: prop})
+		if err := chaosPoint(inj, "election.rename.scan", id); err != nil {
+			return 0, err
+		}
 		view := snap.scan()
 		conflict := false
 		var ids []int
@@ -70,7 +79,7 @@ func rename(snap *snapshot, id int) int {
 			}
 		}
 		if !conflict {
-			return prop - 1
+			return prop - 1, nil
 		}
 		sort.Ints(ids)
 		rank := 1
@@ -107,9 +116,15 @@ func newRelaxedWRN(k int) *relaxedWRN {
 }
 
 // rlx performs RlxWRN(i, v): only the counter's sole incrementer reaches
-// the one-shot object; everyone else gets ⊥.
-func (r *relaxedWRN) rlx(i int, v any) (any, error) {
+// the one-shot object; everyone else gets ⊥. An abort between winning
+// the counter and writing the one-shot object is the protocol's worst
+// partial state: the index is burned but carries no value — exactly the
+// crash the relaxed semantics (⊥ answers) must absorb.
+func (r *relaxedWRN) rlx(inj Injector, id, i int, v any) (any, error) {
 	if r.counters[i].Add(1) == 1 {
+		if err := chaosPoint(inj, "election.rlx.won", id); err != nil {
+			return nil, err
+		}
 		return r.wrn.WRN(i, v)
 	}
 	return Bottom, nil
@@ -121,6 +136,7 @@ func (r *relaxedWRN) rlx(i int, v any) (any, error) {
 // most K−1 coordinators).
 type Election struct {
 	k, m      int
+	inj       Injector
 	snap      *snapshot
 	family    [][]int // covering family: one mapping per K-subset of {0..2K−2}
 	instances []*relaxedWRN
@@ -151,6 +167,16 @@ func NewElection(k, m int) *Election {
 // K returns the participant bound; at most K−1 distinct decisions result.
 func (e *Election) K() int { return e.k }
 
+// SetInjector installs a chaos injector on the protocol and every layer
+// beneath it — renaming, the relaxed wrappers and the one-shot WRN
+// instances (nil removes it). Call before Propose races.
+func (e *Election) SetInjector(inj Injector) {
+	e.inj = inj
+	for _, r := range e.instances {
+		r.wrn.SetInjector(inj)
+	}
+}
+
 // Propose runs Algorithm 3 for the node with identity id and proposal v.
 // Each identity may propose at most once per instance.
 func (e *Election) Propose(id int, v any) (any, error) {
@@ -164,9 +190,20 @@ func (e *Election) Propose(id int, v any) (any, error) {
 		//detlint:allow hangsemantics documented deviation (see package doc): outside the simulator a hang is just a deadlock, so re-proposal surfaces as ErrIndexUsed
 		return nil, fmt.Errorf("%w: identity %d already proposed", ErrIndexUsed, id)
 	}
-	name := rename(e.snap, id)
+	// An abort here crashes the participant after its identity is burned
+	// but before it touches any shared protocol state.
+	if err := chaosPoint(e.inj, "election.propose", id); err != nil {
+		return nil, err
+	}
+	name, err := rename(e.snap, e.inj, id)
+	if err != nil {
+		return nil, err
+	}
 	for l, mapping := range e.family {
-		t, err := e.instances[l].rlx(mapping[name], v)
+		if err := chaosPoint(e.inj, "election.round", id); err != nil {
+			return nil, err
+		}
+		t, err := e.instances[l].rlx(e.inj, id, mapping[name], v)
 		if err != nil {
 			return nil, err
 		}

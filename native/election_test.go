@@ -147,7 +147,12 @@ func TestNativeRenaming(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				names[p] = rename(snap, id)
+				name, err := rename(snap, nil, id)
+				if err != nil {
+					t.Errorf("rename(%d): %v", id, err)
+					return
+				}
+				names[p] = name
 			}()
 		}
 		wg.Wait()
@@ -177,7 +182,7 @@ func TestRelaxedWRNNative(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				out, err := r.rlx(0, fmt.Sprintf("p%d", p))
+				out, err := r.rlx(nil, p, 0, fmt.Sprintf("p%d", p))
 				if err != nil {
 					t.Errorf("rlx: %v", err)
 					return

@@ -50,6 +50,7 @@ var (
 // previous content of cell (i+1) mod k.
 type WRN struct {
 	mu    sync.Mutex
+	inj   Injector
 	cells []any
 }
 
@@ -68,6 +69,10 @@ func NewWRN(k int) *WRN {
 // K returns the object's arity.
 func (w *WRN) K() int { return len(w.cells) }
 
+// SetInjector installs a chaos injector on the object's hot path (nil
+// removes it). Call before sharing the object between goroutines.
+func (w *WRN) SetInjector(inj Injector) { w.inj = inj }
+
 // WRN performs the atomic write-and-read-next operation.
 func (w *WRN) WRN(i int, v any) (any, error) {
 	if i < 0 || i >= len(w.cells) {
@@ -76,8 +81,16 @@ func (w *WRN) WRN(i int, v any) (any, error) {
 	if v == nil || IsBottom(v) {
 		return nil, ErrBadValue
 	}
+	if err := chaosPoint(w.inj, "wrn.enter", i); err != nil {
+		return nil, err
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	// Inside the critical section, before the write: an abort here leaves
+	// the object untouched; a stall here exercises lock contention.
+	if err := chaosPoint(w.inj, "wrn.locked", i); err != nil {
+		return nil, err
+	}
 	w.cells[i] = v
 	return w.cells[(i+1)%len(w.cells)], nil
 }
@@ -86,6 +99,7 @@ func (w *WRN) WRN(i int, v any) (any, error) {
 // once; reuse returns ErrIndexUsed.
 type OneShotWRN struct {
 	mu    sync.Mutex
+	inj   Injector
 	cells []any
 	used  []bool
 }
@@ -105,6 +119,10 @@ func NewOneShotWRN(k int) *OneShotWRN {
 // K returns the object's arity.
 func (w *OneShotWRN) K() int { return len(w.cells) }
 
+// SetInjector installs a chaos injector on the object's hot path (nil
+// removes it). Call before sharing the object between goroutines.
+func (w *OneShotWRN) SetInjector(inj Injector) { w.inj = inj }
+
 // WRN performs the one-shot write-and-read-next operation.
 func (w *OneShotWRN) WRN(i int, v any) (any, error) {
 	if i < 0 || i >= len(w.cells) {
@@ -113,11 +131,17 @@ func (w *OneShotWRN) WRN(i int, v any) (any, error) {
 	if v == nil || IsBottom(v) {
 		return nil, ErrBadValue
 	}
+	if err := chaosPoint(w.inj, "oneshot.enter", i); err != nil {
+		return nil, err
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.used[i] {
 		//detlint:allow hangsemantics documented deviation (see package doc): a real goroutine cannot be parked undetectably, so reuse surfaces as ErrIndexUsed instead of the model's hang
 		return nil, fmt.Errorf("%w: index %d", ErrIndexUsed, i)
+	}
+	if err := chaosPoint(w.inj, "oneshot.locked", i); err != nil {
+		return nil, err
 	}
 	w.used[i] = true
 	w.cells[i] = v
@@ -129,6 +153,7 @@ func (w *OneShotWRN) WRN(i int, v any) (any, error) {
 // WRN_k objects. Each id may propose at most once.
 type SetConsensus struct {
 	n, k      int
+	inj       Injector
 	instances []*OneShotWRN
 }
 
@@ -152,12 +177,24 @@ func (s *SetConsensus) Guarantee() int {
 	return (s.n/s.k)*(s.k-1) + s.n%s.k
 }
 
+// SetInjector installs a chaos injector on the protocol and every
+// underlying WRN instance (nil removes it). Call before Propose races.
+func (s *SetConsensus) SetInjector(inj Injector) {
+	s.inj = inj
+	for _, w := range s.instances {
+		w.SetInjector(inj)
+	}
+}
+
 // Propose submits participant id's value and returns its decision:
 // either its own proposal or that of its ring successor (Algorithm 2
 // within the participant's group).
 func (s *SetConsensus) Propose(id int, v any) (any, error) {
 	if id < 0 || id >= s.n {
 		return nil, fmt.Errorf("%w: participant %d outside [0,%d)", ErrBadIndex, id, s.n)
+	}
+	if err := chaosPoint(s.inj, "setconsensus.propose", id); err != nil {
+		return nil, err
 	}
 	t, err := s.instances[id/s.k].WRN(id%s.k, v)
 	if err != nil {

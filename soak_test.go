@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"testing"
 
+	"detobj/internal/chaos"
 	"detobj/internal/linearize"
 	"detobj/internal/setconsensus"
 	"detobj/internal/sim"
@@ -92,6 +93,117 @@ func TestSoakAlg3Campaign(t *testing.T) {
 				if one.Invocations(i) > 1 {
 					t.Fatalf("trial %d: instance %d index %d used twice", trial, l, i)
 				}
+			}
+		}
+	}
+}
+
+// TestSoakChaosAdversaries: the chaos sweep — every adversary stack over
+// Algorithm 5, 300 seeds each, replay-verified, with the crash history
+// (pending operations included) checked for linearizability. A failure
+// names the seed; `go run ./cmd/chaos -scenario sim -start <seed>
+// -seeds 1` reproduces the run byte for byte.
+func TestSoakChaosAdversaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const k = 4
+	stacks := []struct {
+		name string
+		mk   func(seed int64, r *chaos.Report) sim.Scheduler
+	}{
+		{"crash-during-op", func(seed int64, r *chaos.Report) sim.Scheduler {
+			return chaos.NewCrashDuringOp(sim.NewRandom(seed), r, int(seed)%k, int(seed)%6)
+		}},
+		{"crash-recovery", func(seed int64, r *chaos.Report) sim.Scheduler {
+			return chaos.NewCrashRecovery(sim.NewRandom(seed), r, int(seed)%k, int(seed)%10, 25)
+		}},
+		{"stall", func(seed int64, r *chaos.Report) sim.Scheduler {
+			return chaos.NewStall(sim.NewRandom(seed), r, int(seed)%k, int(seed)%8, 50)
+		}},
+		{"adaptive", func(seed int64, r *chaos.Report) sim.Scheduler {
+			return chaos.NewAdaptive(seed, r)
+		}},
+		{"composed", func(seed int64, r *chaos.Report) sim.Scheduler {
+			return chaos.NewStall(
+				chaos.NewCrashDuringOp(chaos.NewAdaptive(seed, r), r, int(seed)%k, 2),
+				r, (int(seed)+1)%k, 5, 30)
+		}},
+	}
+	spec := wrn.Spec(k)
+	for _, s := range stacks {
+		for seed := int64(0); seed < 300; seed++ {
+			r := chaos.NewReport(seed)
+			objects := map[string]sim.Object{}
+			impl := wrn.NewImpl(objects, "LW", k)
+			progs := make([]sim.Program, k)
+			for i := 0; i < k; i++ {
+				i := i
+				progs[i] = func(ctx *sim.Ctx) sim.Value {
+					return impl.TracedWRN(ctx, i, 100+i)
+				}
+			}
+			res, err := sim.Run(sim.Config{
+				Objects:      objects,
+				Programs:     progs,
+				Scheduler:    chaos.Instrument(s.mk(seed, r), r),
+				Seed:         seed,
+				MaxSteps:     1 << 18,
+				VerifyReplay: true,
+			})
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v\n%s", s.name, seed, err, r)
+			}
+			done, pending := linearize.OpsWithPending(res.Trace, impl.Name())
+			if !linearize.Check(spec, append(done, pending...)).OK {
+				t.Fatalf("%s seed=%d: chaos history not linearizable\n%s", s.name, seed, r)
+			}
+		}
+	}
+}
+
+// TestSoakBoundedNeverHangs: 500 seeds of adversarial scheduling over a
+// budgeted Bounded 1sWRN with deliberately illegal reuse mixed in; every
+// process must finish with a value or ErrExhausted — a hang would show up
+// as anything else in the status vector.
+func TestSoakBoundedNeverHangs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const k = 4
+	for seed := int64(0); seed < 500; seed++ {
+		r := chaos.NewReport(seed)
+		objects := map[string]sim.Object{
+			"W": chaos.NewBounded(wrn.NewOneShot(k), 6),
+		}
+		progs := make([]sim.Program, k)
+		for i := 0; i < k; i++ {
+			i := i
+			progs[i] = func(ctx *sim.Ctx) sim.Value {
+				// Processes deliberately collide on index i%2 — reuse is
+				// illegal and must degrade, not hang.
+				for j := 0; j < 4; j++ {
+					if v := ctx.Invoke("W", "WRN", (i+j)%2, i*10+j); chaos.Exhausted(v) {
+						return v
+					}
+				}
+				return "done"
+			}
+		}
+		res, err := sim.Run(sim.Config{
+			Objects:      objects,
+			Programs:     progs,
+			Scheduler:    chaos.Instrument(chaos.NewAdaptive(seed, r), r),
+			Seed:         seed,
+			MaxSteps:     1 << 18,
+			VerifyReplay: true,
+		})
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		for i, st := range res.Status {
+			if st != sim.StatusDone {
+				t.Fatalf("seed=%d: process %d ended %v — Bounded must never hang", seed, i, st)
 			}
 		}
 	}
