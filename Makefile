@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet lint race test test-short bench experiments fuzz chaos clean
+.PHONY: all check build vet lint lint-sarif race test test-short bench experiments fuzz chaos clean
 
 all: build vet lint test
+
+# The full pre-merge gate: static analysis and the race detector in one
+# invocation, alongside the build, vet and the test suite.
+check: build vet lint race test
 
 build:
 	$(GO) build ./...
@@ -13,14 +17,21 @@ vet:
 	$(GO) vet ./...
 
 # Run the determinism & model-integrity analyzer suite (see README
-# "Static analysis"); nonzero exit on any unannotated finding.
+# "Static analysis"); nonzero exit on any unannotated finding. Runs are
+# incremental: an unchanged tree replays the cached report from
+# .detlint.cache ("detlint: cache hit"); use -no-cache to force a fresh
+# run.
 lint:
 	$(GO) run ./cmd/detlint ./...
 
-# Exercise the native (real-goroutine) package and everything else under
-# the race detector.
+# Same suite, also writing a SARIF 2.1.0 log for code-scanning upload.
+lint-sarif:
+	$(GO) run ./cmd/detlint -sarif detlint.sarif ./...
+
+# Exercise everything — including the native (real-goroutine) package —
+# under the race detector.
 race:
-	$(GO) test -race -short ./native/... ./...
+	$(GO) test -race -short ./...
 
 test:
 	$(GO) test ./...
@@ -52,3 +63,4 @@ fuzz:
 
 clean:
 	$(GO) clean -testcache
+	rm -f .detlint.cache detlint.sarif

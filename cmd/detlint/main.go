@@ -17,6 +17,16 @@
 //
 // comment on the same or the preceding line; the justification is
 // mandatory. See README.md "Static analysis" for the rule catalogue.
+//
+// Runs are incremental: the result of a clean run is cached in
+// .detlint.cache at the module root, keyed by a content hash of every
+// .go file (tests included), go.mod, EXPERIMENTS.md, the rule set, and
+// the detlint version. An unchanged tree replays the cached report
+// ("detlint: cache hit" on stderr) without re-type-checking; -no-cache
+// forces a fresh run. -json prints the report as JSON; -sarif writes a
+// SARIF 2.1.0 log for code-scanning upload. Both formats are byte-stable
+// across runs on an unchanged tree, and every finding carries a stable
+// ID independent of line numbers.
 package main
 
 import (
@@ -34,6 +44,9 @@ func main() {
 	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	rootFlag := flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
 	list := flag.Bool("list", false, "list the available rules and exit")
+	jsonOut := flag.Bool("json", false, "print the report as JSON instead of text")
+	sarifOut := flag.String("sarif", "", "also write a SARIF 2.1.0 log to the given path")
+	noCache := flag.Bool("no-cache", false, "ignore and do not write the result cache")
 	flag.Parse()
 
 	if *list {
@@ -76,19 +89,54 @@ func main() {
 		analyzers = selected
 	}
 
-	m, err := lint.Load(root)
-	if err != nil {
-		fatal(err)
-	}
-	diags := lint.Run(m, analyzers)
-	for _, d := range diags {
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			d.Pos.Filename = rel
+	var key string
+	var report *lint.Report
+	if !*noCache {
+		var err error
+		key, err = lint.CacheKey(root, analyzers)
+		if err != nil {
+			fatal(err)
 		}
-		fmt.Println(d)
+		if c := lint.LoadCache(root); c != nil && c.Key == key {
+			report = c.Report
+			fmt.Fprintln(os.Stderr, "detlint: cache hit")
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "detlint: %d finding(s)\n", len(diags))
+	if report == nil {
+		m, err := lint.Load(root)
+		if err != nil {
+			fatal(err)
+		}
+		report = lint.NewReport(root, lint.Run(m, analyzers))
+		if !*noCache {
+			if err := lint.SaveCache(root, &lint.CachedRun{Key: key, Report: report}); err != nil {
+				fmt.Fprintf(os.Stderr, "detlint: cache not written: %v\n", err)
+			}
+		}
+	}
+
+	if *sarifOut != "" {
+		b, err := report.SARIF(analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*sarifOut, b, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut {
+		b, err := report.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(b)
+	} else {
+		for _, f := range report.Findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", filepath.FromSlash(f.File), f.Line, f.Col, f.Rule, f.Msg)
+		}
+	}
+	if len(report.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d finding(s)\n", len(report.Findings))
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,264 @@
+package lint
+
+// callgraph.go builds a conservative, module-internal callgraph on top
+// of the typed load. Static calls (package functions, methods on
+// concrete receivers, generic instantiations) resolve exactly through
+// types.Info. Calls through an interface method conservatively fan out
+// to every module type implementing that interface — an
+// over-approximation, never a miss. Two dynamic forms are out of scope
+// and documented as such: calls through plain function values (including
+// struct fields of function type) and calls of function literals bound
+// to variables; the rules that ride on the graph treat those as
+// side-effect-free, which keeps them conservative in the direction that
+// matters for their scopes (no false "reachable" edges are needed for
+// soundness of a *lint*, and the repository's decision paths dispatch
+// through named functions and interfaces only).
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// FuncNode is one declared function or method of the module.
+type FuncNode struct {
+	// Fn is the function's type-checker object.
+	Fn *types.Func
+	// Pkg is the package declaring the function.
+	Pkg *Package
+	// Decl is the function's declaration (with body).
+	Decl *ast.FuncDecl
+	// Callees are the module functions this function may call, in
+	// deterministic (position) order, deduplicated.
+	Callees []*FuncNode
+	// SharedAccess reports that the function — directly or through any
+	// callee — performs a recognized shared-memory access: a sync/atomic
+	// method, a sync.Mutex/RWMutex lock, or a simulator object step
+	// (sim.Ctx.Invoke and the register/snapshot wrappers above it).
+	SharedAccess bool
+
+	calleeSet map[*types.Func]bool
+}
+
+// CallGraph is the module's conservative callgraph.
+type CallGraph struct {
+	m *Module
+	// Nodes maps every declared module function to its node.
+	Nodes map[*types.Func]*FuncNode
+	// methodsByName indexes concrete methods for interface fan-out.
+	methodsByName map[string][]*FuncNode
+}
+
+// CallGraph returns the module's callgraph, building it on first use.
+func (m *Module) CallGraph() *CallGraph {
+	if m.cg == nil {
+		m.cg = buildCallGraph(m)
+	}
+	return m.cg
+}
+
+func buildCallGraph(m *Module) *CallGraph {
+	g := &CallGraph{
+		m:             m,
+		Nodes:         make(map[*types.Func]*FuncNode),
+		methodsByName: make(map[string][]*FuncNode),
+	}
+	// Pass 1: one node per declared function with a body.
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Fn: fn, Pkg: pkg, Decl: fd, calleeSet: make(map[*types.Func]bool)}
+				g.Nodes[fn] = node
+				if fn.Type().(*types.Signature).Recv() != nil {
+					g.methodsByName[fn.Name()] = append(g.methodsByName[fn.Name()], node)
+				}
+			}
+		}
+	}
+	// Pass 2: edges.
+	nodes := g.sortedNodes()
+	for _, node := range nodes {
+		n := node
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, callee := range g.calleesOf(n.Pkg, call) {
+				if !n.calleeSet[callee.Fn] {
+					n.calleeSet[callee.Fn] = true
+					n.Callees = append(n.Callees, callee)
+				}
+			}
+			return true
+		})
+		sort.Slice(n.Callees, func(i, j int) bool {
+			return n.Callees[i].Fn.Pos() < n.Callees[j].Fn.Pos()
+		})
+	}
+	g.computeSharedAccess(nodes)
+	return g
+}
+
+// sortedNodes returns every node in deterministic declaration order.
+func (g *CallGraph) sortedNodes() []*FuncNode {
+	out := make([]*FuncNode, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fn.Pos() < out[j].Fn.Pos() })
+	return out
+}
+
+// NodeOf returns the node of a declared module function, or nil.
+func (g *CallGraph) NodeOf(fn *types.Func) *FuncNode { return g.Nodes[fn] }
+
+// calleesOf resolves one call site to its possible module callees.
+func (g *CallGraph) calleesOf(pkg *Package, call *ast.CallExpr) []*FuncNode {
+	if fn := resolvedFunc(pkg, call); fn != nil {
+		if n, ok := g.Nodes[fn]; ok {
+			return []*FuncNode{n}
+		}
+		// A method selected on an interface resolves to the interface's
+		// method object, which has no declaration node; fan out below.
+		if iface, name := receiverInterface(pkg, call); iface != nil {
+			return g.implementersOf(iface, name)
+		}
+		return nil // external (stdlib) function
+	}
+	if iface, name := receiverInterface(pkg, call); iface != nil {
+		return g.implementersOf(iface, name)
+	}
+	return nil
+}
+
+// implementersOf returns every module method named name whose receiver
+// type implements iface.
+func (g *CallGraph) implementersOf(iface *types.Interface, name string) []*FuncNode {
+	var out []*FuncNode
+	for _, n := range g.methodsByName[name] {
+		recv := n.Fn.Type().(*types.Signature).Recv().Type()
+		base := recv
+		if p, ok := base.(*types.Pointer); ok {
+			base = p.Elem()
+		}
+		if types.Implements(base, iface) || types.Implements(types.NewPointer(base), iface) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Reachable returns the set of nodes reachable from the roots, following
+// edges except into packages for which skip returns true (the roots
+// themselves are always included). skip may be nil.
+func (g *CallGraph) Reachable(roots []*FuncNode, skip func(*Package) bool) map[*FuncNode]bool {
+	seen := make(map[*FuncNode]bool)
+	stack := append([]*FuncNode(nil), roots...)
+	for _, r := range roots {
+		seen[r] = true
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range n.Callees {
+			if seen[c] || (skip != nil && skip(c.Pkg)) {
+				continue
+			}
+			seen[c] = true
+			stack = append(stack, c)
+		}
+	}
+	return seen
+}
+
+// ReachableWitness is Reachable plus attribution: each reached node maps
+// to the root it was first discovered from (roots map to themselves).
+// The BFS visits roots and callees in deterministic order, so the
+// witness assignment — and every diagnostic built from it — is stable
+// across runs.
+func (g *CallGraph) ReachableWitness(roots []*FuncNode, skip func(*Package) bool) map[*FuncNode]*FuncNode {
+	witness := make(map[*FuncNode]*FuncNode)
+	queue := make([]*FuncNode, 0, len(roots))
+	for _, r := range roots {
+		if _, ok := witness[r]; !ok {
+			witness[r] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, c := range n.Callees {
+			if _, ok := witness[c]; ok || (skip != nil && skip(c.Pkg)) {
+				continue
+			}
+			witness[c] = witness[n]
+			queue = append(queue, c)
+		}
+	}
+	return witness
+}
+
+// computeSharedAccess runs the shared-access dataflow to a fixed point:
+// a function has the property if its body performs a primitive shared
+// access or any callee has it.
+func (g *CallGraph) computeSharedAccess(nodes []*FuncNode) {
+	for _, n := range nodes {
+		n.SharedAccess = bodyHasSharedPrimitive(g.m, n.Pkg, n.Decl.Body)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			if n.SharedAccess {
+				continue
+			}
+			for _, c := range n.Callees {
+				if c.SharedAccess {
+					n.SharedAccess = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// bodyHasSharedPrimitive reports a direct recognized shared-memory
+// access in the AST subtree: a sync/atomic method call, a
+// sync.Mutex/RWMutex Lock/RLock, or a simulator step (sim.Ctx.Invoke).
+func bodyHasSharedPrimitive(m *Module, pkg *Package, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := resolvedFunc(pkg, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case isMethod(fn, "sync/atomic",
+			"Load", "Store", "Add", "Swap", "CompareAndSwap", "Or", "And"):
+			found = true
+		case isMethod(fn, "sync", "Lock", "RLock", "TryLock", "TryRLock"):
+			found = true
+		case isMethod(fn, m.Path+"/internal/sim", "Invoke"):
+			found = true
+		}
+		return !found
+	})
+	return found
+}

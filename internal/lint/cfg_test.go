@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseFunc parses src as a file and returns its first function
+// declaration.
+func parseFunc(t *testing.T, src string) *ast.FuncDecl {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	t.Fatal("no function declaration in source")
+	return nil
+}
+
+func TestCFGLoopExits(t *testing.T) {
+	cases := []struct {
+		name                string
+		src                 string
+		loops               int
+		hasBreak, hasReturn []bool
+	}{
+		{
+			name: "plain break and return",
+			src: `package p
+func f(n int) int {
+	for {
+		if n > 0 {
+			break
+		}
+	}
+	for {
+		if n < 0 {
+			return n
+		}
+	}
+	return 0
+}`,
+			loops:     2,
+			hasBreak:  []bool{true, false},
+			hasReturn: []bool{false, true},
+		},
+		{
+			name: "break inside switch stays with the switch",
+			src: `package p
+func f(n int) {
+	for i := 0; ; i++ {
+		switch n {
+		case 1:
+			break
+		}
+	}
+}`,
+			loops:     1,
+			hasBreak:  []bool{false},
+			hasReturn: []bool{false},
+		},
+		{
+			name: "labeled break reaches the outer loop",
+			src: `package p
+func f(n int) {
+outer:
+	for {
+		for {
+			break outer
+		}
+	}
+}`,
+			loops:     2,
+			hasBreak:  []bool{true, false},
+			hasReturn: []bool{false, false},
+		},
+		{
+			name: "return in a nested loop marks every enclosing loop",
+			src: `package p
+func f(xs []int) int {
+	for _, x := range xs {
+		for {
+			return x
+		}
+	}
+	return 0
+}`,
+			loops:     2,
+			hasBreak:  []bool{false, false},
+			hasReturn: []bool{true, true},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fd := parseFunc(t, tc.src)
+			cfg := BuildCFG(fd.Body)
+			if len(cfg.AllLoops) != tc.loops {
+				t.Fatalf("loops = %d, want %d", len(cfg.AllLoops), tc.loops)
+			}
+			for i, l := range cfg.AllLoops {
+				if l.HasBreak != tc.hasBreak[i] {
+					t.Errorf("loop %d HasBreak = %v, want %v", i, l.HasBreak, tc.hasBreak[i])
+				}
+				if l.HasReturn != tc.hasReturn[i] {
+					t.Errorf("loop %d HasReturn = %v, want %v", i, l.HasReturn, tc.hasReturn[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCFGFuncLitOpaque pins the function-literal boundary: a return
+// inside a closure belongs to the closure's own CFG, and FuncBodies
+// enumerates the declaration body plus each nested literal.
+func TestCFGFuncLitOpaque(t *testing.T) {
+	fd := parseFunc(t, `package p
+func f(xs []int) func() int {
+	var g func() int
+	for _, x := range xs {
+		g = func() int {
+			for {
+				return x
+			}
+		}
+	}
+	return g
+}`)
+	bodies := FuncBodies(fd)
+	if len(bodies) != 2 {
+		t.Fatalf("FuncBodies = %d bodies, want 2 (decl + literal)", len(bodies))
+	}
+	outer := BuildCFG(bodies[0])
+	if len(outer.AllLoops) != 1 {
+		t.Fatalf("outer loops = %d, want 1 (literal body is opaque)", len(outer.AllLoops))
+	}
+	if outer.AllLoops[0].HasReturn {
+		t.Error("closure's return leaked into the enclosing range loop")
+	}
+	inner := BuildCFG(bodies[1])
+	if len(inner.AllLoops) != 1 || !inner.AllLoops[0].HasReturn {
+		t.Errorf("inner CFG loops = %+v, want one loop with HasReturn", inner.AllLoops)
+	}
+}
+
+// TestCFGBlocksConnected sanity-checks the block structure: every block
+// except possibly terminator-created tails is reachable from the entry.
+func TestCFGBlocksConnected(t *testing.T) {
+	fd := parseFunc(t, `package p
+func f(n int) int {
+	if n > 0 {
+		n--
+	} else {
+		n++
+	}
+	for i := 0; i < n; i++ {
+		n += i
+	}
+	switch n {
+	case 1:
+		return 1
+	default:
+		return n
+	}
+}`)
+	cfg := BuildCFG(fd.Body)
+	if cfg.Entry == nil || len(cfg.Blocks) == 0 {
+		t.Fatal("empty CFG")
+	}
+	seen := make(map[*Block]bool)
+	stack := []*Block{cfg.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	var stmts int
+	for b := range seen {
+		stmts += len(b.Stmts)
+	}
+	if stmts == 0 {
+		t.Error("no statements reachable from the entry block")
+	}
+}

@@ -1,0 +1,150 @@
+package lint
+
+// injectionpurity guards the one determinism claim the native substrate
+// can still make: goroutine interleaving is irreproducible, but the
+// fault *plan* of a seeded injector is not — the fault ordered at the
+// nth visit of a chaos point must be a pure function of (seed, site,
+// visit). The rule finds every chaos decision function — anything
+// returning native.Fault, which is how decisions are spelled (the
+// Injector interface's At, the seeded decide, plan enumerators) — and
+// walks its transitive module callees rejecting every construct whose
+// result depends on anything else: wall clocks, the global rand source,
+// runtime introspection, the environment, channel traffic, goroutine
+// spawns. Executing a fault (chaosPoint's Gosched loops) is deliberately
+// impure and deliberately out of scope: execution returns error, not
+// Fault.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AnalyzerInjectionPurity returns the injectionpurity rule for
+// internal/chaos and native.
+func AnalyzerInjectionPurity() *Analyzer {
+	return &Analyzer{
+		Name: "injectionpurity",
+		Doc:  "chaos injection decisions must be pure functions of (seed, site, visit): no clocks, global rand, runtime/os calls, or channel traffic",
+		Run:  runInjectionPurity,
+	}
+}
+
+func runInjectionPurity(m *Module) []Diagnostic {
+	g := m.CallGraph()
+	faultPath := m.Path + "/native"
+
+	var roots []*FuncNode
+	for _, n := range g.sortedNodes() {
+		if !m.InScope(n.Pkg, "internal/chaos", "native") && !m.isFixture(n.Pkg, "injectok", "injectbad") {
+			continue
+		}
+		if returnsFault(n.Fn, faultPath) {
+			roots = append(roots, n)
+		}
+	}
+
+	witness := g.ReachableWitness(roots, nil)
+	reached := make([]*FuncNode, 0, len(witness))
+	for n := range witness {
+		reached = append(reached, n)
+	}
+	sort.Slice(reached, func(i, j int) bool { return reached[i].Fn.Pos() < reached[j].Fn.Pos() })
+
+	var out []Diagnostic
+	for _, n := range reached {
+		via := ""
+		if w := witness[n]; w != n {
+			via = fmt.Sprintf(" (reachable from decision %s)", funcLabel(w))
+		}
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			why := impureConstruct(n.Pkg, x)
+			if why == "" {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Pos: m.position(x),
+				Msg: fmt.Sprintf("%s in %s%s: an injection decision must be a pure function of (seed, site, visit) so fault plans replay from the seed",
+					why, funcLabel(n), via),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// returnsFault reports whether the function's results include
+// native.Fault, directly or as a slice/array element (fault plans).
+func returnsFault(fn *types.Func, faultPath string) bool {
+	res := fn.Type().(*types.Signature).Results()
+	for i := 0; i < res.Len(); i++ {
+		t := res.At(i).Type()
+		switch u := t.(type) {
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		}
+		if n := namedBase(t); n != nil && n.Obj().Name() == "Fault" &&
+			n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == faultPath {
+			return true
+		}
+	}
+	return false
+}
+
+// impureConstruct classifies one AST node as a purity violation,
+// returning a human-readable reason or "".
+func impureConstruct(pkg *Package, x ast.Node) string {
+	switch x := x.(type) {
+	case *ast.CallExpr:
+		fn := resolvedFunc(pkg, x)
+		if fn == nil || fn.Pkg() == nil {
+			return ""
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if isFunc(fn, "time", "Now", "Since", "Until", "Sleep",
+				"After", "AfterFunc", "Tick", "NewTimer", "NewTicker") {
+				return "time." + fn.Name() + " (wall clock)"
+			}
+		case "math/rand", "math/rand/v2":
+			if isGlobalRand(fn) {
+				return "rand." + fn.Name() + " (global random source)"
+			}
+		case "runtime":
+			return "runtime." + fn.Name() + " (runtime introspection/scheduling)"
+		case "os":
+			return "os." + fn.Name() + " (environment access)"
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			return "channel receive (depends on goroutine scheduling)"
+		}
+	case *ast.SendStmt:
+		return "channel send (depends on goroutine scheduling)"
+	case *ast.SelectStmt:
+		return "select statement (runtime picks a ready case pseudo-randomly)"
+	case *ast.GoStmt:
+		return "goroutine spawn (decision would depend on the schedule)"
+	}
+	return ""
+}
+
+// isGlobalRand reports a package-level function of math/rand or
+// math/rand/v2 backed by the shared global source.
+func isGlobalRand(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	if p != "math/rand" && p != "math/rand/v2" {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	return globalRandFuncs[fn.Name()]
+}

@@ -23,6 +23,20 @@
 //   - schedulecoverage: test packages that drive sim.Run must vary the
 //     schedule beyond the default round-robin — a seeded random sweep, a
 //     crashing schedule, a chaos adversary, or exhaustive exploration.
+//   - boundedloop: every loop reachable from a decision path (Apply,
+//     Propose, WRN, Decide, Elect, Scan, Update) carries a progress
+//     metric — a bounded counter, a finite range, or a helping read —
+//     so wait-freedom is checkable, not aspirational.
+//   - sharedstate: struct fields of native types that are mutable after
+//     construction and reachable from exported operations go through
+//     sync/atomic or a held mutex.
+//   - injectionpurity: chaos injection decisions (anything returning
+//     native.Fault) are pure functions of (seed, site, visit).
+//
+// The last three rules are interprocedural: they ride on a typed load
+// (typeload.go), a per-function control-flow graph (cfg.go), and a
+// conservative module callgraph with a shared-access dataflow summary
+// (callgraph.go).
 //
 // A finding can be suppressed with an inline escape comment on the same
 // or preceding line:
@@ -73,6 +87,9 @@ func Analyzers() []*Analyzer {
 		AnalyzerHangSemantics(),
 		AnalyzerFacadeParity(),
 		AnalyzerScheduleCoverage(),
+		AnalyzerBoundedLoop(),
+		AnalyzerSharedState(),
+		AnalyzerInjectionPurity(),
 	}
 }
 

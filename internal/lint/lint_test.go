@@ -12,6 +12,7 @@ import (
 // a few seconds — share one load across all tests.
 var (
 	fixtureOnce  sync.Once
+	fixtureMod   *Module
 	fixtureDiags []Diagnostic
 	fixtureErr   error
 )
@@ -20,19 +21,26 @@ func loadFixtures(t *testing.T) []Diagnostic {
 	t.Helper()
 	fixtureOnce.Do(func() {
 		m, err := LoadWithExtra("../..", map[string]string{
-			"detobj/internal/lintfixture/nodetbad":  "testdata/src/nodetbad",
-			"detobj/internal/lintfixture/nodetok":   "testdata/src/nodetok",
-			"detobj/internal/lintfixture/puritybad": "testdata/src/puritybad",
-			"detobj/internal/lintfixture/purityok":  "testdata/src/purityok",
-			"detobj/internal/lintfixture/hangbad":   "testdata/src/hangbad",
-			"detobj/internal/lintfixture/hangok":    "testdata/src/hangok",
-			"detobj/internal/lintfixture/schedbad":  "testdata/src/schedbad",
-			"detobj/internal/lintfixture/schedok":   "testdata/src/schedok",
+			"detobj/internal/lintfixture/nodetbad":   "testdata/src/nodetbad",
+			"detobj/internal/lintfixture/nodetok":    "testdata/src/nodetok",
+			"detobj/internal/lintfixture/puritybad":  "testdata/src/puritybad",
+			"detobj/internal/lintfixture/purityok":   "testdata/src/purityok",
+			"detobj/internal/lintfixture/hangbad":    "testdata/src/hangbad",
+			"detobj/internal/lintfixture/hangok":     "testdata/src/hangok",
+			"detobj/internal/lintfixture/schedbad":   "testdata/src/schedbad",
+			"detobj/internal/lintfixture/schedok":    "testdata/src/schedok",
+			"detobj/internal/lintfixture/boundedbad": "testdata/src/boundedbad",
+			"detobj/internal/lintfixture/boundedok":  "testdata/src/boundedok",
+			"detobj/internal/lintfixture/sharedbad":  "testdata/src/sharedbad",
+			"detobj/internal/lintfixture/sharedok":   "testdata/src/sharedok",
+			"detobj/internal/lintfixture/injectbad":  "testdata/src/injectbad",
+			"detobj/internal/lintfixture/injectok":   "testdata/src/injectok",
 		})
 		if err != nil {
 			fixtureErr = err
 			return
 		}
+		fixtureMod = m
 		fixtureDiags = Run(m, Analyzers())
 	})
 	if fixtureErr != nil {
@@ -74,6 +82,18 @@ func TestFixturesFlagSeededViolations(t *testing.T) {
 		{"hangbad", "hangsemantics", "responds with an error value"},
 		{"hangbad", "hangsemantics", "bounded-use violation surfaced as error ErrSlotUsed"},
 		{"schedbad", "schedulecoverage", "only under the default round-robin schedule"},
+		{"boundedbad", "boundedloop", "can neither exit"},
+		{"boundedbad", "boundedloop", "spins until shared state changes"},
+		{"boundedbad", "boundedloop", "ranges over a channel"},
+		{"boundedbad", "boundedloop", "retries without a bounded counter"},
+		{"boundedbad", "boundedloop", "reachable from boundedbad.(Obj).Propose"},
+		{"sharedbad", "sharedstate", "field val of sharedbad.Gauge"},
+		{"sharedbad", "sharedstate", "field peak of sharedbad.Gauge"},
+		{"injectbad", "injectionpurity", "time.Now"},
+		{"injectbad", "injectionpurity", "rand.Intn"},
+		{"injectbad", "injectionpurity", "runtime.NumGoroutine"},
+		{"injectbad", "injectionpurity", "channel receive"},
+		{"injectbad", "injectionpurity", "select statement"},
 	}
 	for _, want := range expect {
 		found := false
@@ -91,7 +111,7 @@ func TestFixturesFlagSeededViolations(t *testing.T) {
 
 func TestFixturesAcceptSafeIdioms(t *testing.T) {
 	diags := loadFixtures(t)
-	for _, clean := range []string{"nodetok", "purityok", "hangok", "schedok"} {
+	for _, clean := range []string{"nodetok", "purityok", "hangok", "schedok", "boundedok", "sharedok", "injectok"} {
 		for _, d := range inFile(diags, clean) {
 			t.Errorf("unexpected finding in clean fixture %s: %s", clean, d)
 		}

@@ -1,10 +1,13 @@
 package lint
 
+// load.go is the syntactic half of the module loader: module discovery,
+// file parsing, and the //detlint:allow index. Type-checking and the
+// typed symbol API live in typeload.go.
+
 import (
 	"fmt"
 	"go/ast"
 	"go/importer"
-	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
@@ -43,6 +46,9 @@ type Module struct {
 
 	byPath map[string]*Package
 	allows map[string][]allowMark // file name -> allow comments
+
+	// cg caches the conservative callgraph across analyzers.
+	cg *CallGraph
 }
 
 // allowMark is one parsed //detlint:allow comment.
@@ -134,6 +140,22 @@ func (m *Module) InScope(pkg *Package, tops ...string) bool {
 	return false
 }
 
+// isFixture reports whether pkg is a grafted test fixture whose import
+// path ends in one of the given package names; the scoped rules
+// (sharedstate, injectionpurity) use it to pull their fixtures into
+// scope without widening the real-tree scope.
+func (m *Module) isFixture(pkg *Package, names ...string) bool {
+	if !strings.Contains(pkg.Path, "/lintfixture/") {
+		return false
+	}
+	for _, n := range names {
+		if strings.HasSuffix(pkg.Path, "/"+n) {
+			return true
+		}
+	}
+	return false
+}
+
 // modulePath extracts the module path from a go.mod file.
 func modulePath(gomod string) (string, error) {
 	data, err := os.ReadFile(gomod)
@@ -147,16 +169,6 @@ func modulePath(gomod string) (string, error) {
 		}
 	}
 	return "", fmt.Errorf("lint: no module line in %s", gomod)
-}
-
-// loader resolves and type-checks packages on demand. Module-internal
-// imports are loaded from source; everything else (the standard library)
-// goes through the source importer.
-type loader struct {
-	m       *Module
-	std     types.Importer
-	dirs    map[string]string // import path -> directory
-	loading map[string]bool   // cycle detection
 }
 
 // discover registers every package directory of the module.
@@ -209,111 +221,4 @@ func goSource(e os.DirEntry) bool {
 	name := e.Name()
 	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
 		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
-}
-
-// Import implements types.Importer for the type-checker's configuration.
-func (l *loader) Import(path string) (*types.Package, error) {
-	if path == "unsafe" {
-		return types.Unsafe, nil
-	}
-	if path == l.m.Path || strings.HasPrefix(path, l.m.Path+"/") {
-		p, err := l.load(path)
-		if err != nil {
-			return nil, err
-		}
-		return p.Types, nil
-	}
-	return l.std.Import(path)
-}
-
-// load parses and type-checks the package at the given module import
-// path (idempotent).
-func (l *loader) load(path string) (*Package, error) {
-	if p, ok := l.m.byPath[path]; ok {
-		return p, nil
-	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("lint: import cycle through %q", path)
-	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
-
-	dir, ok := l.dirs[path]
-	if !ok {
-		// An internal import outside the walked tree (shouldn't happen in
-		// a well-formed module).
-		return nil, fmt.Errorf("lint: unknown module package %q", path)
-	}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var files []*ast.File
-	for _, e := range entries {
-		if !goSource(e) {
-			continue
-		}
-		f, err := parser.ParseFile(l.m.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("lint: no Go files in %s", dir)
-	}
-	info := &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
-	}
-	var tcErr error
-	conf := types.Config{
-		Importer: l,
-		Error: func(err error) {
-			if tcErr == nil {
-				tcErr = err
-			}
-		},
-	}
-	tpkg, err := conf.Check(path, l.m.Fset, files, info)
-	if tcErr != nil {
-		return nil, fmt.Errorf("lint: type-checking %s: %w", path, tcErr)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
-	}
-	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
-	l.m.byPath[path] = p
-	l.collectAllows(p)
-	return p, nil
-}
-
-// collectAllows indexes every //detlint:allow comment of the package.
-func (l *loader) collectAllows(p *Package) {
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				rest, ok := strings.CutPrefix(text, "detlint:allow")
-				if !ok {
-					continue
-				}
-				fields := strings.Fields(rest)
-				mark := allowMark{
-					pos:   l.m.Fset.Position(c.Pos()),
-					rules: make(map[string]bool),
-				}
-				mark.line = mark.pos.Line
-				if len(fields) > 0 {
-					for _, r := range strings.Split(fields[0], ",") {
-						mark.rules[r] = true
-					}
-					mark.justified = len(fields) > 1
-				}
-				l.m.allows[mark.pos.Filename] = append(l.m.allows[mark.pos.Filename], mark)
-			}
-		}
-	}
 }

@@ -83,32 +83,23 @@ func runNoDeterminism(m *Module) []Diagnostic {
 }
 
 // checkDetSelector flags selector references to wall clocks and the
-// global math/rand source.
+// global math/rand source. Resolution goes through the typed symbol API
+// (typeload.go): a shadowed `time` identifier or a Now method on a user
+// clock type never matches, and methods like (*rand.Rand).Intn — seeded
+// by their receiver — pass.
 func checkDetSelector(m *Module, pkg *Package, sel *ast.SelectorExpr) (Diagnostic, bool) {
-	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Pkg() == nil {
-		return Diagnostic{}, false
-	}
-	// Only package-level functions: methods (e.g. (*rand.Rand).Intn) are
-	// seeded by their receiver and fine.
-	if fn.Type().(*types.Signature).Recv() != nil {
-		return Diagnostic{}, false
-	}
-	switch fn.Pkg().Path() {
-	case "time":
-		if fn.Name() == "Now" || fn.Name() == "Since" {
-			return Diagnostic{
-				Pos: m.Fset.Position(sel.Pos()),
-				Msg: fmt.Sprintf("time.%s: wall-clock reads break deterministic replay", fn.Name()),
-			}, true
-		}
-	case "math/rand", "math/rand/v2":
-		if globalRandFuncs[fn.Name()] {
-			return Diagnostic{
-				Pos: m.Fset.Position(sel.Pos()),
-				Msg: fmt.Sprintf("rand.%s uses the unseeded global source; use rand.New(rand.NewSource(seed))", fn.Name()),
-			}, true
-		}
+	fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+	switch {
+	case isFunc(fn, "time", "Now", "Since"):
+		return Diagnostic{
+			Pos: m.Fset.Position(sel.Pos()),
+			Msg: fmt.Sprintf("time.%s: wall-clock reads break deterministic replay", fn.Name()),
+		}, true
+	case isGlobalRand(fn):
+		return Diagnostic{
+			Pos: m.Fset.Position(sel.Pos()),
+			Msg: fmt.Sprintf("rand.%s uses the unseeded global source; use rand.New(rand.NewSource(seed))", fn.Name()),
+		}, true
 	}
 	return Diagnostic{}, false
 }

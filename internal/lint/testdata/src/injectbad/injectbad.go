@@ -1,0 +1,45 @@
+// Package injectbad is a chaos injector whose decisions depend on
+// everything the injectionpurity rule forbids: the wall clock, the
+// global random source, runtime introspection, and channel traffic —
+// each one making a fault plan irreproducible from its seed.
+package injectbad
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+
+	"detobj/native"
+)
+
+// Injector decides faults from ambient state instead of its seed.
+type Injector struct {
+	ch chan int
+}
+
+// New returns the impure injector.
+func New() *Injector { return &Injector{ch: make(chan int, 1)} }
+
+// At implements native.Injector impurely.
+func (in *Injector) At(site string, id int) native.Fault {
+	if time.Now().UnixNano()%2 == 0 {
+		return native.FaultYield
+	}
+	if rand.Intn(2) == 0 {
+		return native.FaultStall
+	}
+	if runtime.NumGoroutine() > 8 {
+		return native.FaultAbort
+	}
+	return in.fromChan()
+}
+
+// fromChan hides the channel dependence one call deep.
+func (in *Injector) fromChan() native.Fault {
+	select {
+	case n := <-in.ch:
+		return native.Fault(n)
+	default:
+		return native.FaultNone
+	}
+}

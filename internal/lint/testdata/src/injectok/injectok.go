@@ -1,0 +1,45 @@
+// Package injectok is a chaos injector whose decisions are pure
+// functions of (seed, site, visit) — the shape the injectionpurity rule
+// must accept without findings: hashing, arithmetic, and a visit counter,
+// nothing that reads clocks, global randomness, the runtime, or channels.
+package injectok
+
+import (
+	"hash/fnv"
+
+	"detobj/native"
+)
+
+// Injector decides faults from (seed, site, visit) alone.
+type Injector struct {
+	seed   int64
+	visits map[string]int
+}
+
+// New returns a seeded injector.
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, visits: make(map[string]int)}
+}
+
+// At implements native.Injector.
+func (in *Injector) At(site string, id int) native.Fault {
+	n := in.visits[site]
+	in.visits[site] = n + 1
+	return in.decide(site, n)
+}
+
+// decide maps (seed, site, visit) to a fault deterministically.
+func (in *Injector) decide(site string, visit int) native.Fault {
+	h := fnv.New64a()
+	var b [16]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(in.seed >> (8 * i))
+		b[8+i] = byte(visit >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(site))
+	if h.Sum64()%10 == 0 {
+		return native.FaultYield
+	}
+	return native.FaultNone
+}

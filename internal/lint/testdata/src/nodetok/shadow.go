@@ -1,0 +1,22 @@
+package nodetok
+
+// Shadowed identifiers spelled like the banned symbols: the typed
+// matcher resolves through go/types, so a local value named `time` with
+// a Now method — or a `rand` with an Intn method — must never trip the
+// rule, and neither must methods that merely share a banned name.
+
+type clock struct{ base int64 }
+
+func (c clock) Now() int64          { return c.base }
+func (c clock) Since(t int64) int64 { return c.base - t }
+
+type dice struct{ face int }
+
+func (d dice) Intn(n int) int { return d.face % n }
+
+// LocalSymbols exercises the shadowed spellings.
+func LocalSymbols() int64 {
+	time := clock{base: 42}
+	rand := dice{face: 3}
+	return time.Now() + time.Since(7) + int64(rand.Intn(5))
+}

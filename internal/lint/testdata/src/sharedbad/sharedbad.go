@@ -1,0 +1,30 @@
+// Package sharedbad seeds the races the sharedstate rule must flag: a
+// field written and read on exported operations with no atomic, no
+// mutex, and no annotation — both directly and through an unexported
+// helper only the callgraph ties to the entry point.
+package sharedbad
+
+// Gauge is shared between goroutines but protects nothing.
+type Gauge struct {
+	val  int
+	peak int
+}
+
+// NewGauge builds a gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set races with every concurrent Set and Get.
+func (g *Gauge) Set(v int) {
+	g.val = v
+	g.bump(v)
+}
+
+// Get reads the racing field unguarded.
+func (g *Gauge) Get() int { return g.val }
+
+// bump is reached from Set; the race hides one call deep.
+func (g *Gauge) bump(v int) {
+	if v > g.peak {
+		g.peak = v
+	}
+}

@@ -1,0 +1,49 @@
+// Package sharedok exercises every protection the sharedstate rule must
+// accept: atomic fields, mutex-guarded fields, fields immutable after
+// construction (including len/cap reads of element-mutated slices), and
+// the field-declaration allow escape for a deliberately unsynchronized
+// field published before the object is shared.
+package sharedok
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a goroutine-safe accumulator.
+type Counter struct {
+	mu   sync.Mutex
+	n    int          // guarded by mu
+	hits atomic.Int64 // atomic
+	//detlint:allow sharedstate fixture demonstrates the field-decl escape: published via SetHook before the object is shared
+	hook  func(int)
+	limit int   // immutable after construction
+	cells []int // header immutable; elements written under mu
+}
+
+// NewCounter builds a counter; construction happens-before sharing.
+func NewCounter(limit int) *Counter {
+	return &Counter{limit: limit, cells: make([]int, limit)}
+}
+
+// SetHook installs an observer; covered by the field-decl allow.
+func (c *Counter) SetHook(h func(int)) { c.hook = h }
+
+// Add accumulates under the mutex.
+func (c *Counter) Add(d int) int {
+	c.hits.Add(1)
+	if d >= len(c.cells) {
+		d = len(c.cells) - 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+	if c.n > c.limit {
+		c.n = c.limit
+	}
+	c.cells[d]++
+	if c.hook != nil {
+		c.hook(c.n)
+	}
+	return c.n
+}

@@ -94,6 +94,7 @@ func rename(snap *snapshot, inj Injector, id int) (int, error) {
 
 func nthFree(taken map[int]bool, r int) int {
 	n := 0
+	//detlint:allow boundedloop terminates within len(taken)+r iterations: taken holds finitely many keys, so at most len(taken) candidates are skipped before r free ones appear
 	for candidate := 1; ; candidate++ {
 		if !taken[candidate] {
 			n++
@@ -135,7 +136,8 @@ func (r *relaxedWRN) rlx(inj Injector, id, i int, v any) (any, error) {
 // and decide at most K−1 distinct values (with identity proposals: at
 // most K−1 coordinators).
 type Election struct {
-	k, m      int
+	k, m int
+	//detlint:allow sharedstate installed via SetInjector before Propose races (documented contract); reads see nil or the fully built injector
 	inj       Injector
 	snap      *snapshot
 	family    [][]int // covering family: one mapping per K-subset of {0..2K−2}
