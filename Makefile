@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint lint-sarif race test test-short bench experiments fuzz chaos clean
+.PHONY: all check build vet lint lint-sarif lint-full race test test-short bench experiments fuzz chaos clean
 
 all: build vet lint test
 
@@ -27,6 +27,13 @@ lint:
 # Same suite, also writing a SARIF 2.1.0 log for code-scanning upload.
 lint-sarif:
 	$(GO) run ./cmd/detlint -sarif detlint.sarif ./...
+
+# The nightly slow path (.github/workflows/nightly.yml): vet plus the
+# full suite with the result cache bypassed, so a cache-layer bug cannot
+# mask a regression. Run a subset with `go run ./cmd/detlint -rules
+# lockorder,decisionflow ./...` — the cache key covers the rule set.
+lint-full: vet
+	$(GO) run ./cmd/detlint -no-cache -sarif detlint.sarif ./...
 
 # Exercise everything — including the native (real-goroutine) package —
 # under the race detector.

@@ -16,7 +16,14 @@
 //	//detlint:allow <rule>[,<rule>...] <justification>
 //
 // comment on the same or the preceding line; the justification is
-// mandatory. See README.md "Static analysis" for the rule catalogue.
+// mandatory, and the allowaudit rule reports any justified allow that
+// no longer suppresses a finding. See README.md "Static analysis" for
+// the rule catalogue; v3 adds the SSA-lite/lockset-backed lockorder and
+// decisionflow rules.
+//
+// -rules=<comma-list> runs a subset of the suite (allowaudit only
+// judges allows whose rules all ran, so a partial run cannot declare an
+// annotation stale).
 //
 // Runs are incremental: the result of a clean run is cached in
 // .detlint.cache at the module root, keyed by a content hash of every

@@ -1,0 +1,96 @@
+package lint
+
+// allowaudit keeps the escape hatch honest. Every //detlint:allow is a
+// standing debt: a human judged a finding acceptable at some commit.
+// Code moves on — the guarded access gains a mutex, the loop becomes
+// bounded — and the annotation stays behind, silently licensed to
+// suppress the *next* genuine finding on that line. This rule reports
+// every justified allow that suppressed nothing during the run, so dead
+// annotations are removed instead of accumulating.
+//
+// The rule is a driver special case, not an ordinary pass: staleness is
+// only known after every other analyzer has run and marked the allows
+// it consumed, so Run() in lint.go executes it last. It also refuses to
+// judge an allow whose named rules were not all selected this run (and
+// judges `all` only under the full suite) — a partial -rules run proves
+// nothing about what the skipped rules would have suppressed.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+const allowAuditName = "allowaudit"
+
+// AnalyzerAllowAudit returns the allowaudit rule. The returned Run is a
+// stub: the driver recognizes the rule by name and produces its
+// findings after suppression, via (*Module).staleAllows.
+func AnalyzerAllowAudit() *Analyzer {
+	return &Analyzer{
+		Name: allowAuditName,
+		Doc:  "detlint:allow annotations that no longer suppress any finding are dead and must be removed",
+		Run:  func(*Module) []Diagnostic { return nil },
+	}
+}
+
+// staleAllows reports every justified allow mark that went unused, when
+// the selected rule set is broad enough to judge it.
+func (m *Module) staleAllows(selected map[string]bool) []Diagnostic {
+	fullSuite := true
+	for _, a := range Analyzers() {
+		if !selected[a.Name] {
+			fullSuite = false
+			break
+		}
+	}
+	var out []Diagnostic
+	files := make([]string, 0, len(m.allows))
+	for f := range m.allows {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		for _, a := range m.allows[f] {
+			// Malformed marks are allowProblems' findings, not stale ones.
+			if !a.justified || len(a.rules) == 0 || a.used {
+				continue
+			}
+			if !judgeable(a, selected, fullSuite) {
+				continue
+			}
+			out = append(out, Diagnostic{Pos: a.pos, Rule: allowAuditName,
+				Msg: fmt.Sprintf("stale detlint:allow (%s): the annotation suppressed no finding this run; remove it or re-justify it",
+					ruleList(a))})
+		}
+	}
+	return out
+}
+
+// judgeable reports whether this run exercised every rule the mark
+// names. A name matching no analyzer of the full suite can never
+// suppress and is always judgeable.
+func judgeable(a *allowMark, selected map[string]bool, fullSuite bool) bool {
+	if a.rules["all"] {
+		return fullSuite
+	}
+	known := make(map[string]bool)
+	for _, an := range Analyzers() {
+		known[an.Name] = true
+	}
+	for _, r := range strings.Split(ruleList(a), ",") {
+		if known[r] && !selected[r] {
+			return false
+		}
+	}
+	return true
+}
+
+func ruleList(a *allowMark) string {
+	rules := make([]string, 0, len(a.rules))
+	for r := range a.rules {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	return strings.Join(rules, ",")
+}

@@ -45,8 +45,12 @@ type CallGraph struct {
 	m *Module
 	// Nodes maps every declared module function to its node.
 	Nodes map[*types.Func]*FuncNode
-	// methodsByName indexes concrete methods for interface fan-out.
-	methodsByName map[string][]*FuncNode
+	// namedTypes lists every non-interface named type declared in the
+	// module, in declaration order, for interface fan-out. Enumerating
+	// types rather than methods-by-name resolves promoted methods: a
+	// struct that satisfies an interface through an embedded field has
+	// no method declaration of its own to index.
+	namedTypes []*types.Named
 }
 
 // CallGraph returns the module's callgraph, building it on first use.
@@ -59,11 +63,11 @@ func (m *Module) CallGraph() *CallGraph {
 
 func buildCallGraph(m *Module) *CallGraph {
 	g := &CallGraph{
-		m:             m,
-		Nodes:         make(map[*types.Func]*FuncNode),
-		methodsByName: make(map[string][]*FuncNode),
+		m:     m,
+		Nodes: make(map[*types.Func]*FuncNode),
 	}
-	// Pass 1: one node per declared function with a body.
+	// Pass 1: one node per declared function with a body, plus the
+	// module's named types for interface fan-out.
 	for _, pkg := range m.Pkgs {
 		for _, f := range pkg.Files {
 			for _, d := range f.Decls {
@@ -77,10 +81,22 @@ func buildCallGraph(m *Module) *CallGraph {
 				}
 				node := &FuncNode{Fn: fn, Pkg: pkg, Decl: fd, calleeSet: make(map[*types.Func]bool)}
 				g.Nodes[fn] = node
-				if fn.Type().(*types.Signature).Recv() != nil {
-					g.methodsByName[fn.Name()] = append(g.methodsByName[fn.Name()], node)
-				}
 			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() { // Names() is sorted
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			g.namedTypes = append(g.namedTypes, named)
 		}
 	}
 	// Pass 2: edges.
@@ -140,19 +156,29 @@ func (g *CallGraph) calleesOf(pkg *Package, call *ast.CallExpr) []*FuncNode {
 	return nil
 }
 
-// implementersOf returns every module method named name whose receiver
-// type implements iface.
+// implementersOf returns the declared module method each implementing
+// type dispatches name to. Enumerating the module's named types and
+// resolving through LookupFieldOrMethod handles promotion: when a type
+// satisfies iface only because an embedded field provides some of the
+// methods, the promoted method's declaration (on the embedded type) is
+// the node the call can reach.
 func (g *CallGraph) implementersOf(iface *types.Interface, name string) []*FuncNode {
 	var out []*FuncNode
-	for _, n := range g.methodsByName[name] {
-		recv := n.Fn.Type().(*types.Signature).Recv().Type()
-		base := recv
-		if p, ok := base.(*types.Pointer); ok {
-			base = p.Elem()
+	seen := make(map[*FuncNode]bool)
+	for _, named := range g.namedTypes {
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
 		}
-		if types.Implements(base, iface) || types.Implements(types.NewPointer(base), iface) {
-			out = append(out, n)
+		fn := lookupConcreteMethod(named, name)
+		if fn == nil {
+			continue
 		}
+		n, ok := g.Nodes[fn]
+		if !ok || seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
 	}
 	return out
 }

@@ -39,6 +39,11 @@ type Block struct {
 	Stmts []ast.Stmt
 	// Succs are the possible next blocks.
 	Succs []*Block
+	// Preds are the blocks this one can be entered from, in edge-creation
+	// order. A block with two or more predecessors is a join point: the
+	// SSA-lite builder (ssa.go) places φ-nodes there, and the lockset
+	// analysis (lockset.go) intersects the incoming must-hold sets.
+	Preds []*Block
 }
 
 // Loop describes one for or range statement.
@@ -110,6 +115,7 @@ func link(from, to *Block) {
 		return
 	}
 	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
 }
 
 // terminate ends the current block with no fallthrough successor; the
@@ -214,10 +220,23 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 			var stmts []ast.Stmt
 			switch cc := cc.(type) {
 			case *ast.CaseClause:
-				stmts = cc.Body
+				// Case expressions are evaluated when the clause is
+				// considered; wrap each in a synthetic ExprStmt so the
+				// dataflow passes see the accesses they perform.
+				for _, e := range cc.List {
+					stmts = append(stmts, &ast.ExprStmt{X: e})
+				}
+				stmts = append(stmts, cc.Body...)
 				hasDefault = hasDefault || cc.List == nil
 			case *ast.CommClause:
-				stmts = cc.Body
+				// The communication itself (v := <-ch, ch <- v) executes
+				// when the case fires; give it a block position so the
+				// dataflow passes see its definitions and accesses.
+				if cc.Comm != nil {
+					stmts = append([]ast.Stmt{cc.Comm}, cc.Body...)
+				} else {
+					stmts = cc.Body
+				}
 				hasDefault = hasDefault || cc.Comm == nil
 			}
 			cb := b.newBlock()
@@ -284,6 +303,62 @@ func (b *cfgBuilder) pushLoop(l *Loop, brk, cont *Block, stmt ast.Stmt) {
 }
 
 func (b *cfgBuilder) popFrame() { b.frames = b.frames[:len(b.frames)-1] }
+
+// shallowParts returns the sub-nodes of a block-member statement that
+// are evaluated at the statement's position in its block. Control
+// statements contribute only the expressions their block evaluates (an
+// if's condition, a range's source); their bodies are members of other
+// blocks and must not be revisited here. The builder appends if/for
+// Init and for Post statements as separate members, so they are not
+// parts of their parent.
+func shallowParts(s ast.Stmt) []ast.Node {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		return []ast.Node{s.Cond}
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			return []ast.Node{s.Cond}
+		}
+		return nil
+	case *ast.RangeStmt:
+		return []ast.Node{s.X}
+	case *ast.SwitchStmt:
+		var out []ast.Node
+		if s.Init != nil {
+			out = append(out, s.Init)
+		}
+		if s.Tag != nil {
+			out = append(out, s.Tag)
+		}
+		return out
+	case *ast.TypeSwitchStmt:
+		var out []ast.Node
+		if s.Init != nil {
+			out = append(out, s.Init)
+		}
+		out = append(out, s.Assign)
+		return out
+	case *ast.SelectStmt:
+		return nil
+	default:
+		return []ast.Node{s}
+	}
+}
+
+// inspectShallow applies fn to every node evaluated at the statement's
+// block position, skipping nested function-literal bodies (they have
+// their own CFGs) and the bodies of control statements (they are
+// members of other blocks).
+func inspectShallow(s ast.Stmt, fn func(ast.Node) bool) {
+	for _, part := range shallowParts(s) {
+		ast.Inspect(part, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			return fn(n)
+		})
+	}
+}
 
 // branchTarget resolves the frame a break/continue targets: the labeled
 // loop, or the innermost breakable (break) / loop (continue).

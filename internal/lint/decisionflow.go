@@ -1,0 +1,517 @@
+package lint
+
+// decisionflow closes the gap injectionpurity leaves open: that rule
+// flags impure *calls* on injection paths, but a decision value can go
+// wrong without any forbidden call in the decision method itself — a
+// helper returns a timestamp, a map iteration picks the winner, a racy
+// field read leaks scheduling order. This rule traces every value
+// returned from a decision method (Apply/Propose/WRN/Decide/Elect/
+// Scan/Update — the same anchors boundedloop uses) backward through the
+// SSA-lite value graph (ssa.go) and through module calls via memoized
+// per-function flow summaries, and reports any flow from a
+// nondeterministic origin:
+//
+//   - wall-clock reads (time.Now/Since/Until) and global randomness;
+//   - runtime introspection;
+//   - map iteration order, unless the collected value is sorted before
+//     it is returned;
+//   - channel receives (goroutine scheduling order);
+//   - in package native and the flow fixtures: reads of mutable fields
+//     with an empty must-hold lockset (racing writers make the read
+//     value an accident of scheduling).
+//
+// Parameters are clean by construction — a proposal is *supposed* to
+// decide the proposed value — and so are receiver fields outside the
+// unsynchronized-read gate: object state mutated only under the
+// object's own discipline is deterministic input. Opaque values
+// (address-taken locals, closure-written variables) are treated as
+// clean; the rule prefers silence to noise on the tracking gaps.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerDecisionFlow returns the decisionflow rule.
+func AnalyzerDecisionFlow() *Analyzer {
+	return &Analyzer{
+		Name: "decisionflow",
+		Doc:  "values returned from decision methods must not derive from time, randomness, map order, channel scheduling, or racy reads",
+		Run:  runDecisionFlow,
+	}
+}
+
+// flowSummary is what a module function contributes to callers' traces.
+type flowSummary struct {
+	// sources are the nondeterministic origins reaching any return.
+	sources []string
+	// params are the indices of parameters flowing to any return.
+	params []int
+}
+
+// flowAnalysis carries the module-wide memo of function summaries.
+type flowAnalysis struct {
+	m         *Module
+	g         *CallGraph
+	summaries map[*FuncNode]*flowSummary
+}
+
+func runDecisionFlow(m *Module) []Diagnostic {
+	fa := &flowAnalysis{m: m, g: m.CallGraph(), summaries: make(map[*FuncNode]*flowSummary)}
+	var out []Diagnostic
+	for _, n := range fa.g.sortedNodes() {
+		if n.Decl.Recv == nil || !decisionMethods[n.Decl.Name.Name] {
+			continue
+		}
+		if !m.InScope(n.Pkg, "internal", "native") && !m.isFixture(n.Pkg, "flowok", "flowbad") {
+			continue
+		}
+		t := fa.tracerFor(n)
+		for _, ret := range t.returns() {
+			sources := make(map[string]bool)
+			for _, e := range t.returnExprs(ret) {
+				for _, s := range t.traceExpr(e.expr, e.at) {
+					sources[s] = true
+				}
+			}
+			descs := make([]string, 0, len(sources))
+			for s := range sources {
+				descs = append(descs, s)
+			}
+			sort.Strings(descs)
+			for _, d := range descs {
+				out = append(out, Diagnostic{
+					Pos: m.Fset.Position(ret.Pos()), Rule: "decisionflow",
+					Msg: fmt.Sprintf("decision value returned by %s derives from %s; decided values must be deterministic functions of the arguments and object state",
+						funcLabel(n), d),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// flowTracer traces values inside one function.
+type flowTracer struct {
+	fa  *flowAnalysis
+	n   *FuncNode
+	ssa *FuncSSA
+	// paramIdx maps parameter objects to their position, for summaries.
+	paramIdx map[*types.Var]int
+	// recv is the receiver object (clean, and not a param flow).
+	recv *types.Var
+	// sorted holds variables handed to a sort.* call anywhere in the
+	// body: their map-iteration-order taint is sanitized.
+	sorted map[*types.Var]bool
+	// unsyncGate enables the racy-field-read source; guards and ffacts
+	// back it.
+	unsyncGate bool
+	guards     map[*ast.SelectorExpr][]*types.Var
+	ffacts     map[*types.Var]*fieldFacts
+	// paramHits collects parameter indices reached during a trace.
+	paramHits map[int]bool
+	// activePhis breaks loop-carried φ cycles.
+	activePhis map[*PhiVal]bool
+}
+
+func (fa *flowAnalysis) tracerFor(n *FuncNode) *flowTracer {
+	t := &flowTracer{
+		fa:         fa,
+		n:          n,
+		ssa:        BuildSSA(n.Pkg, n.Decl),
+		paramIdx:   make(map[*types.Var]int),
+		sorted:     make(map[*types.Var]bool),
+		paramHits:  make(map[int]bool),
+		activePhis: make(map[*PhiVal]bool),
+	}
+	if n.Decl.Recv != nil && len(n.Decl.Recv.List) > 0 && len(n.Decl.Recv.List[0].Names) > 0 {
+		t.recv, _ = n.Pkg.Info.Defs[n.Decl.Recv.List[0].Names[0]].(*types.Var)
+	}
+	idx := 0
+	for _, f := range n.Decl.Type.Params.List {
+		for _, name := range f.Names {
+			if v, ok := n.Pkg.Info.Defs[name].(*types.Var); ok {
+				t.paramIdx[v] = idx
+			}
+			idx++
+		}
+		if len(f.Names) == 0 {
+			idx++
+		}
+	}
+	if fa.m.InScope(n.Pkg, "native") || fa.m.isFixture(n.Pkg, "flowok", "flowbad") {
+		t.unsyncGate = true
+		t.guards = guardedSelectors(n.Pkg, n.Decl)
+		t.ffacts = packageFieldFacts(fa.g, n.Pkg)
+	}
+	// Sort sanitizer: sort.X(v) or slices-style in-place sorting fixes
+	// the order a map range produced.
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := resolvedFunc(n.Pkg, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if !strings.Contains(fn.Name(), "Sort") && !strings.HasPrefix(fn.Name(), "Strings") &&
+			!strings.HasPrefix(fn.Name(), "Ints") && !strings.HasPrefix(fn.Name(), "Float64s") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if v, ok := n.Pkg.Info.Uses[id].(*types.Var); ok {
+					t.sorted[v] = true
+				}
+			}
+		}
+		return true
+	})
+	return t
+}
+
+// returns lists the function body's return statements in block order
+// (nested literals excluded).
+func (t *flowTracer) returns() []*ast.ReturnStmt {
+	var out []*ast.ReturnStmt
+	for _, b := range t.ssa.CFG.Blocks {
+		for _, st := range b.Stmts {
+			if r, ok := st.(*ast.ReturnStmt); ok {
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+type exprAt struct {
+	expr ast.Expr
+	at   ast.Stmt
+}
+
+// returnExprs resolves one return statement to the expressions it
+// returns; a bare return with named results resolves each result
+// variable through the value graph by synthesizing its identifier.
+func (t *flowTracer) returnExprs(ret *ast.ReturnStmt) []exprAt {
+	var out []exprAt
+	if len(ret.Results) > 0 {
+		for _, e := range ret.Results {
+			out = append(out, exprAt{expr: e, at: ret})
+		}
+		return out
+	}
+	if res := t.n.Decl.Type.Results; res != nil {
+		for _, f := range res.List {
+			for _, name := range f.Names {
+				out = append(out, exprAt{expr: name, at: ret})
+			}
+		}
+	}
+	return out
+}
+
+// traceExpr walks an expression and unions the nondeterministic sources
+// flowing into it.
+func (t *flowTracer) traceExpr(e ast.Expr, at ast.Stmt) []string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := t.n.Pkg.Info.Uses[e]
+		if obj == nil {
+			obj = t.n.Pkg.Info.Defs[e]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || v == t.recv {
+			return nil
+		}
+		if idx, ok := t.paramIdx[v]; ok {
+			t.paramHits[idx] = true
+			return nil
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return nil // package-level state is nodeterminism's business
+		}
+		srcs := t.traceValue(t.ssa.BindingAt(at, v))
+		if t.sorted[v] {
+			srcs = dropOrderSources(srcs)
+		}
+		return srcs
+	case *ast.ParenExpr:
+		return t.traceExpr(e.X, at)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			return []string{"a channel receive (goroutine scheduling order)"}
+		}
+		return t.traceExpr(e.X, at)
+	case *ast.StarExpr:
+		return t.traceExpr(e.X, at)
+	case *ast.BinaryExpr:
+		return append(t.traceExpr(e.X, at), t.traceExpr(e.Y, at)...)
+	case *ast.CallExpr:
+		return t.traceCall(e, at)
+	case *ast.SelectorExpr:
+		return t.traceSelector(e, at)
+	case *ast.IndexExpr:
+		return append(t.traceExpr(e.X, at), t.traceExpr(e.Index, at)...)
+	case *ast.SliceExpr:
+		return t.traceExpr(e.X, at)
+	case *ast.CompositeLit:
+		var out []string
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			out = append(out, t.traceExpr(el, at)...)
+		}
+		return out
+	case *ast.TypeAssertExpr:
+		return t.traceExpr(e.X, at)
+	}
+	return nil
+}
+
+// traceSelector handles a field or package-symbol read.
+func (t *flowTracer) traceSelector(sel *ast.SelectorExpr, at ast.Stmt) []string {
+	f := selectedField(t.n.Pkg, sel)
+	if f == nil {
+		return nil // qualified package symbol or method value
+	}
+	var out []string
+	if t.unsyncGate {
+		ff := t.ffacts[f]
+		if ff != nil && ff.mutated && !atomicField(f) && !syncField(f) &&
+			len(t.guards[sel]) == 0 && !fieldDeclAllowed(t.fa.m, f, "decisionflow") {
+			out = append(out, fmt.Sprintf(
+				"an unsynchronized read of field %s of %s (racing writers make the value scheduling-dependent)",
+				f.Name(), ownerTypeName(f)))
+		}
+	}
+	// The base expression may itself be computed (s.pick().slot).
+	if _, ok := ast.Unparen(sel.X).(*ast.Ident); !ok {
+		out = append(out, t.traceExpr(sel.X, at)...)
+	}
+	return out
+}
+
+// traceCall resolves a call's contribution: a nondeterministic
+// primitive, a module callee's summary, or the arguments of anything
+// value-preserving.
+func (t *flowTracer) traceCall(call *ast.CallExpr, at ast.Stmt) []string {
+	pkg := t.n.Pkg
+	// Conversion: T(x) carries x's taint.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		var out []string
+		for _, a := range call.Args {
+			out = append(out, t.traceExpr(a, at)...)
+		}
+		return out
+	}
+	// Builtins: len/cap/make/new are deterministic of their argument's
+	// identity; append/copy/min/max carry values through.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append", "copy", "min", "max":
+				var out []string
+				for _, a := range call.Args {
+					out = append(out, t.traceExpr(a, at)...)
+				}
+				return out
+			default:
+				return nil
+			}
+		}
+	}
+	fn := resolvedFunc(pkg, call)
+	if fn == nil {
+		// Interface dispatch without a static resolution, or a function
+		// value: fan out through the callgraph if possible.
+		return t.traceDynamic(call, at)
+	}
+	if src := nondetCall(fn); src != "" {
+		return []string{src}
+	}
+	if node, ok := t.fa.g.Nodes[fn]; ok {
+		return t.applySummary(node, call, at)
+	}
+	if iface, _ := receiverInterface(pkg, call); iface != nil {
+		return t.traceDynamic(call, at)
+	}
+	// External and value-preserving as far as this rule knows: trace the
+	// receiver of a method chain (time.Now().UnixNano()) and stop.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return t.traceExpr(sel.X, at)
+		}
+	}
+	return nil
+}
+
+// traceDynamic fans an unresolvable call out through the callgraph's
+// interface resolution.
+func (t *flowTracer) traceDynamic(call *ast.CallExpr, at ast.Stmt) []string {
+	var out []string
+	for _, callee := range t.fa.g.calleesOf(t.n.Pkg, call) {
+		out = append(out, t.applySummary(callee, call, at)...)
+	}
+	return out
+}
+
+// applySummary folds a callee's flow summary into the caller's trace:
+// the callee's own sources (tagged with the callee), plus the caller's
+// arguments for every parameter the callee returns.
+func (t *flowTracer) applySummary(callee *FuncNode, call *ast.CallExpr, at ast.Stmt) []string {
+	sum := t.fa.summaryOf(callee)
+	var out []string
+	for _, s := range sum.sources {
+		if strings.Contains(s, " (via ") {
+			out = append(out, s)
+		} else {
+			out = append(out, fmt.Sprintf("%s (via %s)", s, funcLabel(callee)))
+		}
+	}
+	for _, pi := range sum.params {
+		if pi < len(call.Args) {
+			out = append(out, t.traceExpr(call.Args[pi], at)...)
+		}
+	}
+	return out
+}
+
+// traceValue walks the SSA-lite value graph.
+func (t *flowTracer) traceValue(v Value) []string {
+	switch v := v.(type) {
+	case ParamVal:
+		if idx, ok := t.paramIdx[v.V]; ok {
+			t.paramHits[idx] = true
+		}
+		return nil
+	case ExprVal:
+		return t.traceExpr(v.E, v.At)
+	case *PhiVal:
+		if t.activePhis[v] {
+			return nil
+		}
+		t.activePhis[v] = true
+		var out []string
+		for _, op := range v.Ops {
+			out = append(out, t.traceValue(op)...)
+		}
+		delete(t.activePhis, v)
+		return out
+	case RangeVal:
+		var out []string
+		if tt := t.n.Pkg.Info.TypeOf(v.S.X); tt != nil {
+			if _, isMap := tt.Underlying().(*types.Map); isMap {
+				out = append(out, "map iteration order")
+			}
+		}
+		out = append(out, t.traceExpr(v.S.X, v.S)...)
+		return out
+	case MergeVal:
+		var out []string
+		for _, op := range v.Ops {
+			out = append(out, t.traceValue(op)...)
+		}
+		if commutativeFold(v) {
+			out = dropOrderSources(out)
+		}
+		return out
+	}
+	return nil // OpaqueVal
+}
+
+// summaryOf computes (and memoizes) a function's flow summary. A cycle
+// hits the zero summary placeholder — the fixed point a lint needs is
+// "no new sources", which the first pass already gives.
+func (fa *flowAnalysis) summaryOf(n *FuncNode) *flowSummary {
+	if s, ok := fa.summaries[n]; ok {
+		return s
+	}
+	s := &flowSummary{}
+	fa.summaries[n] = s // placeholder breaks recursion
+	t := fa.tracerFor(n)
+	srcSet := make(map[string]bool)
+	for _, ret := range t.returns() {
+		for _, e := range t.returnExprs(ret) {
+			for _, src := range t.traceExpr(e.expr, e.at) {
+				srcSet[src] = true
+			}
+		}
+	}
+	for src := range srcSet {
+		s.sources = append(s.sources, src)
+	}
+	sort.Strings(s.sources)
+	for pi := range t.paramHits {
+		s.params = append(s.params, pi)
+	}
+	sort.Ints(s.params)
+	return s
+}
+
+// nondetCall classifies an external call as a nondeterministic origin.
+func nondetCall(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if isFunc(fn, "time", "Now", "Since", "Until") {
+			return "time." + fn.Name() + " (wall clock)"
+		}
+	case "math/rand", "math/rand/v2":
+		if fn.Type().(*types.Signature).Recv() == nil {
+			return "rand." + fn.Name() + " (random source)"
+		}
+		return "a math/rand method (random source)"
+	case "runtime":
+		if fn.Type().(*types.Signature).Recv() == nil {
+			return "runtime." + fn.Name() + " (runtime introspection)"
+		}
+	case "crypto/rand":
+		return "crypto/rand." + fn.Name() + " (random source)"
+	}
+	return ""
+}
+
+// commutativeFold reports whether an augmented-assignment merge is
+// order-insensitive: summing (or and-ing, or-ing, xor-ing, ...) the
+// values of a map range yields the same accumulated result under every
+// iteration order, so the map-order taint does not survive the fold.
+// String concatenation is the one += whose result is ordered.
+func commutativeFold(v MergeVal) bool {
+	switch v.Op {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+	default:
+		return false
+	}
+	if v.Var == nil {
+		return false
+	}
+	b, ok := v.Var.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString == 0
+}
+
+// dropOrderSources removes map-iteration-order taint after an explicit
+// sort: the element *set* of a map range is deterministic, only the
+// visit order is not, and sorting re-fixes the order.
+func dropOrderSources(srcs []string) []string {
+	var out []string
+	for _, s := range srcs {
+		if strings.HasPrefix(s, "map iteration order") {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}

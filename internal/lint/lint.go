@@ -32,11 +32,22 @@
 //     sync/atomic or a held mutex.
 //   - injectionpurity: chaos injection decisions (anything returning
 //     native.Fault) are pure functions of (seed, site, visit).
+//   - lockorder: the module-wide lock-acquisition-order graph is
+//     acyclic, no sync mutex is re-acquired while held, no field is
+//     guarded by disjoint locks, and no field mixes atomic and plain
+//     access.
+//   - decisionflow: every value returned from a decision method is
+//     taint-traced through the SSA-lite value graph back to wall
+//     clocks, randomness, map order, channel scheduling, and
+//     unsynchronized reads.
+//   - allowaudit: every justified //detlint:allow must still suppress a
+//     finding; stale annotations are findings themselves.
 //
-// The last three rules are interprocedural: they ride on a typed load
-// (typeload.go), a per-function control-flow graph (cfg.go), and a
-// conservative module callgraph with a shared-access dataflow summary
-// (callgraph.go).
+// The interprocedural rules ride on a typed load (typeload.go), a
+// per-function control-flow graph (cfg.go), a conservative module
+// callgraph with a shared-access dataflow summary (callgraph.go), an
+// SSA-lite per-function value graph (ssa.go), and a path-sensitive
+// must-hold lockset (lockset.go).
 //
 // A finding can be suppressed with an inline escape comment on the same
 // or preceding line:
@@ -90,6 +101,9 @@ func Analyzers() []*Analyzer {
 		AnalyzerBoundedLoop(),
 		AnalyzerSharedState(),
 		AnalyzerInjectionPurity(),
+		AnalyzerLockOrder(),
+		AnalyzerDecisionFlow(),
+		AnalyzerAllowAudit(),
 	}
 }
 
@@ -98,8 +112,20 @@ func Analyzers() []*Analyzer {
 // allow comment that lacks a justification, and returns the remainder
 // sorted by position.
 func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
+	for _, marks := range m.allows {
+		for _, a := range marks {
+			a.used = false
+		}
+	}
+	selected := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		selected[a.Name] = true
+	}
 	var out []Diagnostic
 	for _, a := range analyzers {
+		if a.Name == allowAuditName {
+			continue // runs after every suppression mark is in place
+		}
 		for _, d := range a.Run(m) {
 			d.Rule = a.Name
 			if !m.suppressed(d) {
@@ -107,21 +133,31 @@ func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 	}
+	if selected[allowAuditName] {
+		out = append(out, m.staleAllows(selected)...)
+	}
 	out = append(out, m.allowProblems()...)
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Rule < b.Rule
-	})
+	sort.Slice(out, func(i, j int) bool { return diagLess(out[i], out[j]) })
 	return out
+}
+
+// diagLess is the canonical finding order: position, then rule, then
+// message. The rule/message tiebreak makes reports byte-stable even when
+// two analyzers fire on the same statement.
+func diagLess(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	if a.Rule != b.Rule {
+		return a.Rule < b.Rule
+	}
+	return a.Msg < b.Msg
 }
 
 // suppressed reports whether a justified allow comment covers the
@@ -136,6 +172,7 @@ func (m *Module) suppressed(d Diagnostic) bool {
 			continue
 		}
 		if a.rules[d.Rule] || a.rules["all"] {
+			a.used = true
 			return true
 		}
 	}

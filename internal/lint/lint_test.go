@@ -35,6 +35,13 @@ func loadFixtures(t *testing.T) []Diagnostic {
 			"detobj/internal/lintfixture/sharedok":   "testdata/src/sharedok",
 			"detobj/internal/lintfixture/injectbad":  "testdata/src/injectbad",
 			"detobj/internal/lintfixture/injectok":   "testdata/src/injectok",
+			"detobj/internal/lintfixture/lockbad":    "testdata/src/lockbad",
+			"detobj/internal/lintfixture/lockok":     "testdata/src/lockok",
+			"detobj/internal/lintfixture/flowbad":    "testdata/src/flowbad",
+			"detobj/internal/lintfixture/flowok":     "testdata/src/flowok",
+			"detobj/internal/lintfixture/auditbad":   "testdata/src/auditbad",
+			"detobj/internal/lintfixture/auditok":    "testdata/src/auditok",
+			"detobj/internal/lintfixture/embedbad":   "testdata/src/embedbad",
 		})
 		if err != nil {
 			fixtureErr = err
@@ -94,6 +101,16 @@ func TestFixturesFlagSeededViolations(t *testing.T) {
 		{"injectbad", "injectionpurity", "runtime.NumGoroutine"},
 		{"injectbad", "injectionpurity", "channel receive"},
 		{"injectbad", "injectionpurity", "select statement"},
+		{"lockbad", "lockorder", "lock-order cycle among"},
+		{"lockbad", "lockorder", "acquired in lockbad.(Cell).Again while already held"},
+		{"lockbad", "lockorder", "field m of lockbad.Pair is guarded by"},
+		{"lockbad", "lockorder", "mixed atomic/plain"},
+		{"flowbad", "decisionflow", "time.Now (wall clock) (via flowbad.stampNow)"},
+		{"flowbad", "decisionflow", "map iteration order"},
+		{"flowbad", "decisionflow", "unsynchronized read of field grade"},
+		{"flowbad", "decisionflow", "channel receive"},
+		{"auditbad", "allowaudit", "stale detlint:allow (nodeterminism)"},
+		{"embedbad", "boundedloop", "reachable from embedbad.(Obj).Propose"},
 	}
 	for _, want := range expect {
 		found := false
@@ -111,11 +128,43 @@ func TestFixturesFlagSeededViolations(t *testing.T) {
 
 func TestFixturesAcceptSafeIdioms(t *testing.T) {
 	diags := loadFixtures(t)
-	for _, clean := range []string{"nodetok", "purityok", "hangok", "schedok", "boundedok", "sharedok", "injectok"} {
+	for _, clean := range []string{"nodetok", "purityok", "hangok", "schedok", "boundedok", "sharedok", "injectok", "lockok", "flowok", "auditok"} {
 		for _, d := range inFile(diags, clean) {
 			t.Errorf("unexpected finding in clean fixture %s: %s", clean, d)
 		}
 	}
+}
+
+// TestPartialRunStaleJudgment pins the -rules contract for allowaudit:
+// a mark is judged stale only when every rule it names actually ran.
+// Selecting nodeterminism makes the auditbad mark judgeable (and stale),
+// while a subset without nodeterminism proves nothing about it and must
+// stay silent.
+func TestPartialRunStaleJudgment(t *testing.T) {
+	loadFixtures(t)
+	judged := Run(fixtureMod, []*Analyzer{AnalyzerNoDeterminism(), AnalyzerAllowAudit()})
+	foundStale := false
+	for _, d := range inFile(judged, "auditbad") {
+		if d.Rule == allowAuditName {
+			foundStale = true
+		}
+	}
+	if !foundStale {
+		t.Error("subset including nodeterminism did not judge the auditbad mark stale")
+	}
+	for _, d := range inFile(judged, "auditok") {
+		if d.Rule == allowAuditName {
+			t.Errorf("live allow in auditok judged stale: %s", d)
+		}
+	}
+	unjudged := Run(fixtureMod, []*Analyzer{AnalyzerSharedState(), AnalyzerAllowAudit()})
+	for _, d := range unjudged {
+		if d.Rule == allowAuditName {
+			t.Errorf("subset without nodeterminism judged a mark anyway: %s", d)
+		}
+	}
+	// Restore the shared fixture diagnostics' used-marks for later tests.
+	fixtureDiags = Run(fixtureMod, Analyzers())
 }
 
 func TestRealTreeIsClean(t *testing.T) {

@@ -45,7 +45,7 @@ type Module struct {
 	Pkgs []*Package
 
 	byPath map[string]*Package
-	allows map[string][]allowMark // file name -> allow comments
+	allows map[string][]*allowMark // file name -> allow comments
 
 	// cg caches the conservative callgraph across analyzers.
 	cg *CallGraph
@@ -57,6 +57,10 @@ type allowMark struct {
 	rules     map[string]bool
 	justified bool
 	pos       token.Position
+	// used is set by the driver whenever the mark suppresses a finding
+	// (or exempts a field declaration); the allowaudit rule reports
+	// justified marks that stay unused across a full run.
+	used bool
 }
 
 // Load walks the module rooted at root (its go.mod directory), parses
@@ -83,7 +87,7 @@ func LoadWithExtra(root string, extra map[string]string) (*Module, error) {
 		Path:   modPath,
 		Fset:   token.NewFileSet(),
 		byPath: make(map[string]*Package),
-		allows: make(map[string][]allowMark),
+		allows: make(map[string][]*allowMark),
 	}
 	l := &loader{
 		m:       m,

@@ -1,0 +1,400 @@
+package lint
+
+// lockorder is the deadlock-freedom half of what sharedstate starts:
+// sharedstate proves accesses are guarded, lockorder proves the guards
+// themselves cannot wedge. It builds the module-wide lock-acquisition-
+// order graph — an edge A→B whenever some function acquires B while the
+// must-hold lockset says A is held, directly or through any callee —
+// and reports three shapes of trouble:
+//
+//   - a cycle in the order graph: two concurrent callers can each hold
+//     one lock of the cycle and block forever on the next;
+//   - a re-acquisition of a lock already held (directly, or by calling
+//     a function that takes it): sync.Mutex is not reentrant, so the
+//     goroutine deadlocks against itself;
+//   - a mutable field accessed under *different* locks in different
+//     functions, or through old-style sync/atomic calls in one place
+//     and plain loads/stores in another — discipline that looks
+//     guarded but excludes nothing.
+//
+// Lock identity is instance-abstracted (the mutex's declaring field or
+// variable, see lockset.go), so the graph is small and the verdicts are
+// about code shape, not heap shape. Function literals are analyzed as
+// their own bodies with an empty entry lockset; locks they acquire
+// participate in the graph, but are not charged to synchronous callers
+// of the enclosing function.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerLockOrder returns the lockorder rule.
+func AnalyzerLockOrder() *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc:  "lock-acquisition-order cycles, non-reentrant re-acquisition, and inconsistent lock/atomic discipline on shared fields",
+		Run:  runLockOrder,
+	}
+}
+
+// lockEdge is one held→acquired observation with its earliest witness.
+type lockEdge struct {
+	from, to *types.Var
+	fn       string    // label of the function acquiring `to`
+	pos      token.Pos // witness position
+}
+
+func runLockOrder(m *Module) []Diagnostic {
+	g := m.CallGraph()
+	var out []Diagnostic
+
+	// Per-function lock facts for every declared body, plus separate
+	// facts for nested literal bodies (empty entry set).
+	nodes := g.sortedNodes()
+	facts := make(map[*FuncNode]*LockFacts, len(nodes))
+	extra := make(map[*FuncNode][]*LockFacts)
+	for _, n := range nodes {
+		bodies := FuncBodies(n.Decl)
+		facts[n] = ComputeLockFacts(n.Pkg, BuildCFG(bodies[0]))
+		for _, body := range bodies[1:] {
+			extra[n] = append(extra[n], ComputeLockFacts(n.Pkg, BuildCFG(body)))
+		}
+	}
+
+	// Transitive acquires: every lock a function may take, directly or
+	// through module callees, to a fixed point. Literal bodies are
+	// excluded — a spawned goroutine's acquisitions are not synchronous
+	// effects of the caller.
+	trans := make(map[*FuncNode]map[*types.Var]bool, len(nodes))
+	for _, n := range nodes {
+		set := make(map[*types.Var]bool)
+		for _, a := range facts[n].Acquires {
+			set[a.Lock] = true
+		}
+		trans[n] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			for _, c := range n.Callees {
+				for _, l := range sortedLocks(trans[c]) {
+					if !trans[n][l] {
+						trans[n][l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Edges and re-acquisitions.
+	edges := make(map[[2]*types.Var]*lockEdge)
+	addEdge := func(from, to *types.Var, fn string, pos token.Pos) {
+		key := [2]*types.Var{from, to}
+		if e, ok := edges[key]; ok {
+			if pos < e.pos {
+				e.fn, e.pos = fn, pos
+			}
+			return
+		}
+		edges[key] = &lockEdge{from: from, to: to, fn: fn, pos: pos}
+	}
+	for _, n := range nodes {
+		label := funcLabel(n)
+		all := append([]*LockFacts{facts[n]}, extra[n]...)
+		for _, lf := range all {
+			for _, a := range lf.Acquires {
+				if hasLock(a.Held, a.Lock) {
+					out = append(out, Diagnostic{
+						Pos: m.Fset.Position(a.Pos), Rule: "lockorder",
+						Msg: fmt.Sprintf("%s is acquired in %s while already held; sync mutexes are not reentrant, so the goroutine deadlocks against itself",
+							lockLabel(m, a.Lock), label),
+					})
+					continue
+				}
+				for _, h := range a.Held {
+					addEdge(h, a.Lock, label, a.Pos)
+				}
+			}
+			for _, lc := range lf.Calls {
+				if len(lc.Held) == 0 {
+					continue
+				}
+				for _, callee := range g.calleesOf(n.Pkg, lc.Call) {
+					for _, l := range sortedLocks(trans[callee]) {
+						if hasLock(lc.Held, l) {
+							out = append(out, Diagnostic{
+								Pos: m.Fset.Position(lc.Call.Pos()), Rule: "lockorder",
+								Msg: fmt.Sprintf("%s calls %s, which acquires %s while %s already holds it; sync mutexes are not reentrant, so the goroutine deadlocks against itself",
+									label, funcLabel(callee), lockLabel(m, l), label),
+							})
+							continue
+						}
+						for _, h := range lc.Held {
+							addEdge(h, l, label, lc.Call.Pos())
+						}
+					}
+				}
+			}
+		}
+	}
+
+	out = append(out, lockCycles(m, edges)...)
+	for _, pkg := range m.Pkgs {
+		if !m.InScope(pkg, "native") && !m.isFixture(pkg, "lockok", "lockbad") {
+			continue
+		}
+		out = append(out, lockDiscipline(m, g, pkg)...)
+	}
+	return out
+}
+
+// lockCycles finds strongly connected components of the order graph and
+// reports each component of two or more locks once, anchored at its
+// earliest witness.
+func lockCycles(m *Module, edges map[[2]*types.Var]*lockEdge) []Diagnostic {
+	// Deterministic node and edge orders.
+	sorted := make([]*lockEdge, 0, len(edges))
+	for _, e := range edges {
+		sorted = append(sorted, e)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].pos < sorted[j].pos })
+	var locks []*types.Var
+	seen := make(map[*types.Var]bool)
+	adj := make(map[*types.Var][]*types.Var)
+	for _, e := range sorted {
+		for _, v := range [...]*types.Var{e.from, e.to} {
+			if !seen[v] {
+				seen[v] = true
+				locks = append(locks, v)
+			}
+		}
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+
+	// Tarjan's SCC.
+	index := make(map[*types.Var]int)
+	low := make(map[*types.Var]int)
+	onStack := make(map[*types.Var]bool)
+	var stack []*types.Var
+	var sccs [][]*types.Var
+	next := 0
+	var strongconnect func(v *types.Var)
+	strongconnect = func(v *types.Var) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []*types.Var
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, v := range locks {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+
+	var out []Diagnostic
+	for _, scc := range sccs {
+		inSCC := make(map[*types.Var]bool, len(scc))
+		for _, v := range scc {
+			inSCC[v] = true
+		}
+		var witnesses []*lockEdge
+		for _, e := range sorted {
+			if inSCC[e.from] && inSCC[e.to] {
+				witnesses = append(witnesses, e)
+			}
+		}
+		labels := make([]string, 0, len(scc))
+		for _, v := range scc {
+			labels = append(labels, lockLabel(m, v))
+		}
+		sort.Strings(labels)
+		parts := make([]string, 0, len(witnesses))
+		for _, e := range witnesses {
+			parts = append(parts, fmt.Sprintf("%s acquires %s while holding %s",
+				e.fn, lockLabel(m, e.to), lockLabel(m, e.from)))
+		}
+		sort.Strings(parts)
+		out = append(out, Diagnostic{
+			Pos: m.Fset.Position(witnesses[0].pos), Rule: "lockorder",
+			Msg: fmt.Sprintf("lock-order cycle among %s: %s; two concurrent callers can deadlock",
+				strings.Join(labels, ", "), strings.Join(parts, "; ")),
+		})
+	}
+	return out
+}
+
+// lockDiscipline flags mutable fields of one package accessed under
+// disjoint locks, or mixed between sync/atomic calls and plain
+// loads/stores.
+func lockDiscipline(m *Module, g *CallGraph, pkg *Package) []Diagnostic {
+	facts := packageFieldFacts(g, pkg)
+	if len(facts) == 0 {
+		return nil
+	}
+
+	type access struct {
+		held []*types.Var
+		fn   string
+	}
+	guardsByField := make(map[*types.Var][]access)
+	atomicBy := make(map[*types.Var]string) // field -> first fn using atomic.* on it
+	plainBy := make(map[*types.Var]string)  // field -> first fn with a plain access
+	var fieldOrder []*types.Var
+	noteField := func(f *types.Var) {
+		if _, ok := guardsByField[f]; !ok {
+			guardsByField[f] = nil
+			fieldOrder = append(fieldOrder, f)
+		}
+	}
+
+	for _, n := range g.sortedNodes() {
+		if n.Pkg != pkg || isConstructor(n.Decl) {
+			continue
+		}
+		label := funcLabel(n)
+		// Selectors handed to sync/atomic package functions (&f.x) use
+		// atomic discipline; every other selector is a plain access.
+		atomicSel := make(map[*ast.SelectorExpr]bool)
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := resolvedFunc(n.Pkg, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" ||
+				fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if f := selectedField(pkg, sel); f != nil && facts[f] != nil {
+					atomicSel[sel] = true
+					noteField(f)
+					if _, ok := atomicBy[f]; !ok {
+						atomicBy[f] = label
+					}
+				}
+			}
+			return true
+		})
+		guards := guardedSelectors(pkg, n.Decl)
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			sel, ok := x.(*ast.SelectorExpr)
+			if !ok || atomicSel[sel] {
+				return true
+			}
+			f := selectedField(pkg, sel)
+			if f == nil || facts[f] == nil || atomicField(f) || syncField(f) {
+				return true
+			}
+			noteField(f)
+			if _, ok := plainBy[f]; !ok {
+				plainBy[f] = label
+			}
+			if held := guards[sel]; len(held) > 0 {
+				guardsByField[f] = append(guardsByField[f], access{held: held, fn: label})
+			}
+			return true
+		})
+	}
+
+	var out []Diagnostic
+	for _, f := range fieldOrder {
+		if fieldDeclAllowed(m, f, "lockorder") {
+			continue
+		}
+		pos := m.Fset.Position(f.Pos())
+		if a, ok := atomicBy[f]; ok {
+			if p, ok := plainBy[f]; ok {
+				out = append(out, Diagnostic{Pos: pos, Rule: "lockorder",
+					Msg: fmt.Sprintf("field %s of %s goes through sync/atomic in %s but is accessed plainly in %s; mixed atomic/plain discipline excludes nothing",
+						f.Name(), ownerTypeName(f), a, p)})
+				continue
+			}
+		}
+		if facts[f] == nil || !facts[f].mutated {
+			continue
+		}
+		accs := guardsByField[f]
+		for i := 1; i < len(accs); i++ {
+			if len(intersectLocks(accs[0].held, accs[i].held)) == 0 {
+				out = append(out, Diagnostic{Pos: pos, Rule: "lockorder",
+					Msg: fmt.Sprintf("field %s of %s is guarded by %s in %s but by %s in %s; disjoint locks do not exclude concurrent access",
+						f.Name(), ownerTypeName(f),
+						lockSetLabel(m, accs[0].held), accs[0].fn,
+						lockSetLabel(m, accs[i].held), accs[i].fn)})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// sortedLocks renders a lock set in deterministic order.
+func sortedLocks(set map[*types.Var]bool) []*types.Var {
+	out := make([]*types.Var, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return lockLess(out[i], out[j]) })
+	return out
+}
+
+// lockLabel renders a lock variable for diagnostics: the declaring
+// struct field (pkg.Type.field) or the plain variable name.
+func lockLabel(m *Module, v *types.Var) string {
+	if v.IsField() {
+		return ownerTypeName(v) + "." + v.Name()
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return v.Name()
+}
+
+func lockSetLabel(m *Module, set []*types.Var) string {
+	parts := make([]string, 0, len(set))
+	for _, v := range set {
+		parts = append(parts, lockLabel(m, v))
+	}
+	return strings.Join(parts, "+")
+}

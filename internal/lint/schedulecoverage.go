@@ -142,7 +142,7 @@ func collectFileAllows(m *Module, f *ast.File) {
 				continue
 			}
 			fields := strings.Fields(rest)
-			mark := allowMark{
+			mark := &allowMark{
 				pos:   m.Fset.Position(c.Pos()),
 				rules: make(map[string]bool),
 			}

@@ -62,8 +62,83 @@ type fieldFacts struct {
 
 func sharedStateForPackage(m *Module, pkg *Package) []Diagnostic {
 	g := m.CallGraph()
+	facts := packageFieldFacts(g, pkg)
+	if len(facts) == 0 {
+		return nil
+	}
 
-	// Classify every field of every struct type declared in the package.
+	// Pass 2: entry points are the package's exported functions and
+	// methods minus constructors; everything reachable from them runs on
+	// caller goroutines after the object is shared.
+	var roots []*FuncNode
+	for _, n := range g.sortedNodes() {
+		if n.Pkg == pkg && n.Decl.Name.IsExported() && !isConstructor(n.Decl) {
+			roots = append(roots, n)
+		}
+	}
+	reachable := g.Reachable(roots, nil)
+	checked := make([]*FuncNode, 0, len(reachable))
+	for n := range reachable {
+		if n.Pkg == pkg {
+			checked = append(checked, n)
+		}
+	}
+	sort.Slice(checked, func(i, j int) bool { return checked[i].Fn.Pos() < checked[j].Fn.Pos() })
+
+	// Pass 3: flag unprotected accesses to mutated fields. The guard
+	// check is the lockset analysis: an access counts as protected only
+	// when a mutex is held on every path reaching it (lockset.go), not
+	// merely when a Lock call appears earlier in the source text.
+	var out []Diagnostic
+	for _, n := range checked {
+		guards := guardedSelectors(pkg, n.Decl)
+		exempt := headerReads(pkg, n.Decl.Body, facts)
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			sel, ok := x.(*ast.SelectorExpr)
+			if !ok || exempt[sel] {
+				return true
+			}
+			f := selectedField(pkg, sel)
+			if f == nil {
+				return true
+			}
+			ff := facts[f]
+			if ff == nil || !ff.mutated {
+				return true
+			}
+			if atomicField(f) || syncField(f) {
+				return true
+			}
+			pos := m.Fset.Position(sel.Pos())
+			if len(guards[sel]) > 0 {
+				return true
+			}
+			if fieldDeclAllowed(m, f, "sharedstate") {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Pos: pos,
+				Msg: fmt.Sprintf("field %s of %s is written outside its constructor and accessed in %s without sync/atomic or a held mutex; concurrent operations can race on it",
+					f.Name(), ownerTypeName(f), funcLabel(n)),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// isConstructor reports a New*/new* function: it runs before the object
+// is shared between goroutines.
+func isConstructor(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}
+
+// packageFieldFacts classifies every struct field declared in pkg and
+// marks the ones written outside constructors. Shared by sharedstate
+// and lockorder: both rules only care about fields that change after
+// the object is built.
+func packageFieldFacts(g *CallGraph, pkg *Package) map[*types.Var]*fieldFacts {
 	facts := make(map[*types.Var]*fieldFacts)
 	scope := pkg.Types.Scope()
 	for _, name := range scope.Names() {
@@ -81,10 +156,8 @@ func sharedStateForPackage(m *Module, pkg *Package) []Diagnostic {
 		}
 	}
 	if len(facts) == 0 {
-		return nil
+		return facts
 	}
-
-	// Pass 1: find writes outside constructors.
 	for _, n := range g.sortedNodes() {
 		if n.Pkg != pkg || isConstructor(n.Decl) {
 			continue
@@ -110,69 +183,7 @@ func sharedStateForPackage(m *Module, pkg *Package) []Diagnostic {
 			return true
 		})
 	}
-
-	// Pass 2: entry points are the package's exported functions and
-	// methods minus constructors; everything reachable from them runs on
-	// caller goroutines after the object is shared.
-	var roots []*FuncNode
-	for _, n := range g.sortedNodes() {
-		if n.Pkg == pkg && n.Decl.Name.IsExported() && !isConstructor(n.Decl) {
-			roots = append(roots, n)
-		}
-	}
-	reachable := g.Reachable(roots, nil)
-	checked := make([]*FuncNode, 0, len(reachable))
-	for n := range reachable {
-		if n.Pkg == pkg {
-			checked = append(checked, n)
-		}
-	}
-	sort.Slice(checked, func(i, j int) bool { return checked[i].Fn.Pos() < checked[j].Fn.Pos() })
-
-	// Pass 3: flag unprotected accesses to mutated fields.
-	var out []Diagnostic
-	for _, n := range checked {
-		locks := lockPositions(pkg, n.Decl.Body)
-		exempt := headerReads(pkg, n.Decl.Body, facts)
-		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
-			sel, ok := x.(*ast.SelectorExpr)
-			if !ok || exempt[sel] {
-				return true
-			}
-			f := selectedField(pkg, sel)
-			if f == nil {
-				return true
-			}
-			ff := facts[f]
-			if ff == nil || !ff.mutated {
-				return true
-			}
-			if atomicField(f) || syncField(f) {
-				return true
-			}
-			pos := m.Fset.Position(sel.Pos())
-			if lockHeldBefore(locks, sel.Pos()) {
-				return true
-			}
-			if fieldDeclAllowed(m, f, "sharedstate") {
-				return true
-			}
-			out = append(out, Diagnostic{
-				Pos: pos,
-				Msg: fmt.Sprintf("field %s of %s is written outside its constructor and accessed in %s without sync/atomic or a held mutex; concurrent operations can race on it",
-					f.Name(), ownerTypeName(f), funcLabel(n)),
-			})
-			return true
-		})
-	}
-	return out
-}
-
-// isConstructor reports a New*/new* function: it runs before the object
-// is shared between goroutines.
-func isConstructor(fd *ast.FuncDecl) bool {
-	name := fd.Name.Name
-	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+	return facts
 }
 
 // fieldTarget resolves an assignment target to the struct field it
@@ -252,36 +263,6 @@ func syncField(f *types.Var) bool {
 	return typeFromPkg(f.Type(), "sync")
 }
 
-// lockPositions collects the positions of every (*sync.Mutex).Lock /
-// RLock call in the body.
-func lockPositions(pkg *Package, body *ast.BlockStmt) []token.Pos {
-	var out []token.Pos
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if fn := resolvedFunc(pkg, call); isMethod(fn, "sync", "Lock", "RLock") {
-			out = append(out, call.Pos())
-		}
-		return true
-	})
-	return out
-}
-
-// lockHeldBefore reports whether any lock call precedes pos in the same
-// function body. Position order approximates dominance: the repository
-// style locks at the top of the critical section and defers the unlock,
-// so anything textually after the Lock in the same function is guarded.
-func lockHeldBefore(locks []token.Pos, pos token.Pos) bool {
-	for _, l := range locks {
-		if l < pos {
-			return true
-		}
-	}
-	return false
-}
-
 // fieldDeclAllowed reports a justified //detlint:allow for the rule on
 // the field's declaration line (or the line above it).
 func fieldDeclAllowed(m *Module, f *types.Var, rule string) bool {
@@ -294,6 +275,7 @@ func fieldDeclAllowed(m *Module, f *types.Var, rule string) bool {
 			continue
 		}
 		if a.rules[rule] || a.rules["all"] {
+			a.used = true
 			return true
 		}
 	}

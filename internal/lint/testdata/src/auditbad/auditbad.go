@@ -1,0 +1,9 @@
+// Package auditbad seeds a stale escape: the allow below names a rule
+// that produces no finding on its line, so allowaudit must flag the
+// annotation as dead weight.
+package auditbad
+
+// Answer returns a constant; nothing here needs an exemption.
+//
+//detlint:allow nodeterminism the clock read was removed in a refactor but the annotation stayed behind
+func Answer() int { return 42 }

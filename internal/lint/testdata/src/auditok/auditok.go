@@ -1,0 +1,13 @@
+// Package auditok exercises a live escape the allowaudit rule must
+// leave alone: the annotation suppresses a real nodeterminism finding,
+// so it is earning its keep.
+package auditok
+
+import "time"
+
+// Uptime deliberately reads the wall clock for operator logs; the
+// value never reaches a decision path.
+func Uptime() int64 {
+	//detlint:allow nodeterminism operator-facing uptime metric, never read by a decision path
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,58 @@
+// Package flowbad seeds the nondeterministic decision values the
+// decisionflow rule must catch: a proposal decided from the wall clock
+// one call deep, a winner picked by map iteration order, a verdict
+// read from an unsynchronized field while another method writes it
+// under a lock, and an election settled by channel scheduling.
+package flowbad
+
+import (
+	"sync"
+	"time"
+)
+
+// Obj decides nondeterministically in four different ways.
+type Obj struct {
+	mu    sync.Mutex
+	seen  map[int]bool
+	grade int
+}
+
+// NewObj builds the object.
+func NewObj() *Obj { return &Obj{seen: make(map[int]bool)} }
+
+// Propose decides a timestamp: the classic replay-breaker, hidden one
+// call deep.
+func (o *Obj) Propose(v int) int {
+	stamp := int(stampNow())
+	if stamp > v {
+		return stamp
+	}
+	return v
+}
+
+// stampNow is where the clock actually gets read.
+func stampNow() int64 { return time.Now().UnixNano() }
+
+// Decide picks whichever key the runtime happens to visit first.
+func (o *Obj) Decide() int {
+	for k := range o.seen {
+		return k
+	}
+	return -1
+}
+
+// Scan returns grade without holding mu; Update's writers race with
+// the read, so the returned value depends on scheduling.
+func (o *Obj) Scan() int { return o.grade }
+
+// Update writes grade under the lock.
+func (o *Obj) Update(v int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.grade = v
+}
+
+// Elect returns whatever message wins the scheduling race.
+func (o *Obj) Elect(ch chan int) int {
+	return <-ch
+}

@@ -1,0 +1,72 @@
+// Package flowok exercises decision values the decisionflow rule must
+// accept: pure functions of the arguments (through a helper), receiver
+// state read and written under one mutex, and a map collected into a
+// slice that is sorted before it is returned — the element set of a
+// map range is deterministic, only the visit order is not.
+package flowok
+
+import (
+	"sort"
+	"sync"
+)
+
+// Obj decides deterministically.
+type Obj struct {
+	mu   sync.Mutex
+	best int
+	set  map[int]bool
+}
+
+// NewObj builds the object.
+func NewObj() *Obj { return &Obj{set: make(map[int]bool)} }
+
+// Propose clamps the proposal: a pure function of the argument.
+func (o *Obj) Propose(v int) int {
+	return clamp(v, 0, 1<<20)
+}
+
+// clamp transforms its arguments and touches nothing else.
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Decide returns guarded state: reads and writes share o.mu.
+func (o *Obj) Decide() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.best
+}
+
+// Update mutates the guarded state.
+func (o *Obj) Update(v int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if v > o.best {
+		o.best = v
+	}
+}
+
+// Insert records a member under the mutex.
+func (o *Obj) Insert(v int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.set[v] = true
+}
+
+// Scan returns the members in sorted order.
+func (o *Obj) Scan() []int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	keys := make([]int, 0, len(o.set))
+	for k := range o.set {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,94 @@
+// Package lockbad seeds everything the lockorder rule must flag: an
+// AB/BA acquisition-order cycle with one leg hidden behind a helper
+// call, a non-reentrant re-acquisition, a field guarded by a different
+// mutex in each writer, and a counter mixed between sync/atomic calls
+// and plain reads.
+package lockbad
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pair holds two locks with no fixed acquisition order.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+	m int
+}
+
+// NewPair builds the pair.
+func NewPair() *Pair { return &Pair{} }
+
+// Forward locks a, then b.
+func (p *Pair) Forward() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	p.n++
+	p.b.Unlock()
+}
+
+// Backward locks b, then takes a through a helper: the interprocedural
+// leg of the cycle.
+func (p *Pair) Backward() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.grabA()
+}
+
+// grabA closes the cycle when called with b held.
+func (p *Pair) grabA() {
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+}
+
+// SetA guards m with a.
+func (p *Pair) SetA(v int) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.m = v
+}
+
+// SetB guards the same field with b: the two writers exclude nothing.
+func (p *Pair) SetB(v int) {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.m = v
+}
+
+// Cell re-acquires its own lock.
+type Cell struct {
+	mu sync.Mutex
+	v  int
+}
+
+// NewCell builds the cell.
+func NewCell() *Cell { return &Cell{} }
+
+// Again deadlocks against itself: the second Lock never returns.
+func (c *Cell) Again() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.Lock()
+	x := c.v
+	c.mu.Unlock()
+	return x
+}
+
+// Mixed counts through sync/atomic in one method and reads plainly in
+// another.
+type Mixed struct {
+	c int64
+}
+
+// NewMixed builds the counter.
+func NewMixed() *Mixed { return &Mixed{} }
+
+// Incr goes through the atomic package.
+func (x *Mixed) Incr() { atomic.AddInt64(&x.c, 1) }
+
+// Read loads the same word with a plain access.
+func (x *Mixed) Read() int64 { return x.c }

@@ -1,0 +1,68 @@
+// Package lockok exercises lock usage the lockorder rule must accept:
+// a two-lock hierarchy acquired in the same order on every path
+// (directly and through a helper), a reader/writer pair sharing one
+// RWMutex, and fields guarded consistently everywhere they are
+// touched.
+package lockok
+
+import "sync"
+
+// Ledger orders its locks: accounts strictly before journal.
+type Ledger struct {
+	accounts sync.Mutex
+	journal  sync.Mutex
+	balance  int
+	log      []int
+}
+
+// NewLedger builds the ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// Post locks accounts, then journal through the helper.
+func (l *Ledger) Post(d int) {
+	l.accounts.Lock()
+	defer l.accounts.Unlock()
+	l.balance += d
+	l.append(d)
+}
+
+// append takes journal while accounts is held — the same order every
+// caller uses.
+func (l *Ledger) append(d int) {
+	l.journal.Lock()
+	defer l.journal.Unlock()
+	l.log = append(l.log, d)
+}
+
+// Audit uses the hierarchy directly.
+func (l *Ledger) Audit() int {
+	l.accounts.Lock()
+	defer l.accounts.Unlock()
+	l.journal.Lock()
+	defer l.journal.Unlock()
+	return l.balance + len(l.log)
+}
+
+// Stat guards one word with a reader/writer lock.
+type Stat struct {
+	mu  sync.RWMutex
+	cur int
+}
+
+// NewStat builds the stat.
+func NewStat() *Stat { return &Stat{} }
+
+// Set writes under the write lock.
+func (s *Stat) Set(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cur = v
+}
+
+// Get reads under the read lock: same lock variable, consistent
+// discipline.
+func (s *Stat) Get() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cur
+}

@@ -121,7 +121,7 @@ func (l *loader) collectAllows(p *Package) {
 					continue
 				}
 				fields := strings.Fields(rest)
-				mark := allowMark{
+				mark := &allowMark{
 					pos:   l.m.Fset.Position(c.Pos()),
 					rules: make(map[string]bool),
 				}

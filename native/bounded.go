@@ -22,9 +22,9 @@ import (
 // retry attempts, context deadline, or the underlying object's one-shot
 // capacity. It is the native face of the model's hang-on-exhaustion:
 // where the simulator parks the caller forever, the Bounded wrappers
-// return this error instead.
-//
-//detlint:allow hangsemantics this sentinel IS the documented hang-vs-error boundary: Bounded wrappers deliberately convert the model's undetectable hang into a detectable, typed exhaustion error (see DESIGN.md)
+// return this error instead. This sentinel IS the documented
+// hang-vs-error boundary (see DESIGN.md); the hangsemantics rule exempts
+// package native for exactly this reason, so no allow is needed here.
 var ErrExhausted = errors.New("native: operation budget exhausted")
 
 // Budget bounds one native operation.
