@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint lint-sarif lint-full race test test-short bench experiments fuzz chaos clean
+.PHONY: all check build vet lint lint-sarif lint-full race test test-short bench bench-smoke experiments fuzz chaos clean
 
 all: build vet lint test
 
@@ -46,8 +46,20 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Run the full benchmark suite and distill it into BENCH_5.json via
+# cmd/benchjson, which pairs the .../seq and .../par sub-benchmarks of
+# bench_parallel_test.go and reports the parallel engines' speedup. The
+# JSON records numcpu/gomaxprocs so committed numbers are honest about
+# the machine they were measured on.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem . | tee bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_5.json < bench.out
+	rm -f bench.out
+
+# One iteration per benchmark — a CI-sized check that the harness and
+# the benchjson pipeline work end to end.
+bench-smoke:
+	$(GO) test -bench=. -benchtime 1x -benchmem . | $(GO) run ./cmd/benchjson -o -
 
 # Regenerate every experiment table from EXPERIMENTS.md.
 experiments:

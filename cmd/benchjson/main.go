@@ -1,0 +1,186 @@
+// Command benchjson converts `go test -bench` output (read from stdin)
+// into a machine-readable JSON report, pairing the seq/par sub-benchmark
+// twins of bench_parallel_test.go and computing par's speedup over seq.
+//
+// The report records goos/goarch/cpu from the bench header and
+// numcpu/gomaxprocs from this process, so a committed BENCH_N.json is
+// honest about the hardware it was measured on: the parallel engines
+// cannot beat the sequential ones at GOMAXPROCS = 1, and a reader of the
+// file can see that context without re-running anything.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem . | go run ./cmd/benchjson -o BENCH_5.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup pairs a /seq sub-benchmark with its /par twin.
+type Speedup struct {
+	Pair    string  `json:"pair"`
+	SeqNs   float64 `json:"seq_ns_per_op"`
+	ParNs   float64 `json:"par_ns_per_op"`
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the BENCH_N.json document.
+type Report struct {
+	Schema     string      `json:"schema"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	NumCPU     int         `json:"numcpu"`
+	Gomaxprocs int         `json:"gomaxprocs"`
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Speedups   []Speedup   `json:"speedups,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkParExploreE1/k=6/seq-8   3  412ms/op … (ns/op, B/op, allocs/op)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "BENCH_5.json", "output file (- for stdout)")
+	flag.Parse()
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data := buf.Bytes()
+	if *out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output and builds the report.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{
+		Schema:     "detobj-bench/1",
+		NumCPU:     runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+	}
+	if rep.Gomaxprocs < 4 {
+		rep.Note = "measured below GOMAXPROCS=4; the parallel engines' speedup materializes at GOMAXPROCS >= 4"
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: stripProcSuffix(m[1])}
+		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	rep.Speedups = pairSpeedups(rep.Benchmarks)
+	return rep, nil
+}
+
+// stripProcSuffix removes the trailing -GOMAXPROCS that `go test`
+// appends to benchmark names (absent at GOMAXPROCS = 1).
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// pairSpeedups joins each .../seq benchmark with its .../par twin, in the
+// order the seq side appeared.
+func pairSpeedups(benches []Benchmark) []Speedup {
+	byName := make(map[string]Benchmark, len(benches))
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	var out []Speedup
+	for _, b := range benches {
+		if !strings.HasSuffix(b.Name, "/seq") {
+			continue
+		}
+		pair := strings.TrimSuffix(b.Name, "/seq")
+		par, ok := byName[pair+"/par"]
+		if !ok || par.NsPerOp <= 0 {
+			continue
+		}
+		out = append(out, Speedup{
+			Pair:    pair,
+			SeqNs:   b.NsPerOp,
+			ParNs:   par.NsPerOp,
+			Speedup: math2(b.NsPerOp / par.NsPerOp),
+		})
+	}
+	return out
+}
+
+// math2 rounds to two decimals without pulling in math for one call.
+func math2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }

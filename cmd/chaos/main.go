@@ -19,12 +19,18 @@
 // On failure the driver prints the failing seed; re-running with
 // -start <seed> -seeds 1 reproduces the run.
 //
+// Seeds sweep in parallel (-parallel, default GOMAXPROCS): every seed is
+// a self-contained deterministic run, so each writes into its own buffer
+// and the buffers are printed in seed order — the sweep's output and its
+// first-failing-seed error are identical for every worker count.
+//
 // Usage:
 //
-//	chaos [-seeds N] [-start S] [-scenario sim|native|all] [-v]
+//	chaos [-seeds N] [-start S] [-scenario sim|native|all] [-parallel P] [-v]
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -37,6 +43,7 @@ import (
 
 	"detobj/internal/chaos"
 	"detobj/internal/linearize"
+	"detobj/internal/par"
 	"detobj/internal/sim"
 	"detobj/internal/wrn"
 	"detobj/native"
@@ -46,30 +53,52 @@ func main() {
 	seeds := flag.Int64("seeds", 20, "number of seeds to sweep")
 	start := flag.Int64("start", 0, "first seed")
 	scenario := flag.String("scenario", "all", "scenario to run: sim, native or all")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the seed sweep (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "dump the full chaos report of every simulator run")
 	flag.Parse()
-	if err := run(os.Stdout, *scenario, *start, *seeds, *verbose); err != nil {
+	if err := run(os.Stdout, *scenario, *start, *seeds, *parallel, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, scenario string, start, seeds int64, verbose bool) error {
+func run(w io.Writer, scenario string, start, seeds int64, workers int, verbose bool) error {
 	doSim := scenario == "all" || scenario == "sim"
 	doNative := scenario == "all" || scenario == "native"
 	if !doSim && !doNative {
 		return fmt.Errorf("unknown scenario %q", scenario)
 	}
-	for seed := start; seed < start+seeds; seed++ {
+	// One buffer per seed; par.ForEach guarantees every seed below the
+	// failing one completes, so replaying the buffers in seed order and
+	// stopping at the first error reproduces the sequential output.
+	type slot struct {
+		out bytes.Buffer
+		err error
+	}
+	slots := make([]slot, seeds)
+	_ = par.ForEach(int(seeds), workers, func(i int) error {
+		seed := start + int64(i)
+		s := &slots[i]
 		if doSim {
-			if err := simSweep(w, seed, verbose); err != nil {
-				return fmt.Errorf("sim seed %d: %w (reproduce: chaos -scenario sim -start %d -seeds 1)", seed, err, seed)
+			if err := simSweep(&s.out, seed, verbose); err != nil {
+				s.err = fmt.Errorf("sim seed %d: %w (reproduce: chaos -scenario sim -start %d -seeds 1)", seed, err, seed)
+				return s.err
 			}
 		}
 		if doNative {
-			if err := nativeSweep(w, seed); err != nil {
-				return fmt.Errorf("native seed %d: %w (reproduce: chaos -scenario native -start %d -seeds 1)", seed, err, seed)
+			if err := nativeSweep(&s.out, seed); err != nil {
+				s.err = fmt.Errorf("native seed %d: %w (reproduce: chaos -scenario native -start %d -seeds 1)", seed, err, seed)
+				return s.err
 			}
+		}
+		return nil
+	})
+	for i := range slots {
+		if _, err := io.Copy(w, &slots[i].out); err != nil {
+			return err
+		}
+		if slots[i].err != nil {
+			return slots[i].err
 		}
 	}
 	fmt.Fprintf(w, "chaos: %d seeds swept clean\n", seeds)

@@ -2,9 +2,16 @@
 // mechanized Lemma 38 indistinguishability analysis over the object zoo
 // (E6) and the valency analysis of the 2-consensus protocols (E11).
 //
+// Every row carries its expected verdict (the paper's classification);
+// the driver exits non-zero when any computed verdict diverges, so a
+// regression in the engines or the objects cannot print a plausible
+// table and still report success. Both engines fan out across -parallel
+// workers (default GOMAXPROCS) with output byte-identical to the
+// sequential engines.
+//
 // Usage:
 //
-//	modelcheck [-exp e6|e11|all]
+//	modelcheck [-exp e6|e11|all] [-parallel P]
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 
 	"detobj/internal/consensus"
 	"detobj/internal/modelcheck"
+	"detobj/internal/par"
 	"detobj/internal/registers"
 	"detobj/internal/sim"
 	"detobj/internal/wrn"
@@ -22,24 +30,26 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: e6, e11 or all")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the engines (0 = GOMAXPROCS)")
 	flag.Parse()
-	if err := run(os.Stdout, *exp); err != nil {
+	if err := run(os.Stdout, *exp, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "modelcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string) error {
+func run(w io.Writer, exp string, workers int) error {
+	workers = par.Normalize(workers, -1)
 	matched := false
 	if exp == "all" || exp == "e6" {
 		matched = true
-		if err := expE6(w); err != nil {
+		if err := expE6(w, workers); err != nil {
 			return fmt.Errorf("e6: %w", err)
 		}
 	}
 	if exp == "all" || exp == "e11" {
 		matched = true
-		if err := expE11(w); err != nil {
+		if err := expE11(w, workers); err != nil {
 			return fmt.Errorf("e11: %w", err)
 		}
 	}
@@ -50,7 +60,7 @@ func run(w io.Writer, exp string) error {
 }
 
 // expE6: the Lemma 38 obligations across the object zoo.
-func expE6(w io.Writer) error {
+func expE6(w io.Writer, workers int) error {
 	fmt.Fprintln(w, "E6  Lemma 38 mechanized: indistinguishability obligations per object")
 	fmt.Fprintln(w, "    pass = no process can both survive an operation race and observe its order")
 	fmt.Fprintln(w, "object          states  pairs   distinguishing  degenerate  verdict")
@@ -59,6 +69,9 @@ func expE6(w io.Writer) error {
 		name  string
 		init  modelcheck.Finite
 		alpha []sim.Invocation
+		// wantPass is the paper's classification: consensus number 1
+		// passes, consensus number >= 2 must expose a distinguishing pair.
+		wantPass bool
 	}
 	regAlpha := []sim.Invocation{
 		{Op: "read"},
@@ -74,18 +87,19 @@ func expE6(w io.Writer) error {
 		{Op: "propose", Args: []sim.Value{"q"}},
 	}
 	rows := []row{
-		{"register", registers.New("init"), regAlpha},
-		{"WRN_3", wrn.New(3), modelcheck.WRNAlphabet(3, 2)},
-		{"WRN_4", wrn.New(4), modelcheck.WRNAlphabet(4, 2)},
-		{"WRN_5", wrn.New(5), modelcheck.WRNAlphabet(5, 2)},
-		{"1sWRN_3", wrn.NewOneShot(3), modelcheck.WRNAlphabet(3, 2)},
-		{"WRN_2=SWAP", wrn.New(2), modelcheck.WRNAlphabet(2, 2)},
-		{"swap", consensus.NewSwap(nil), swapAlpha},
-		{"test-and-set", consensus.NewTestAndSet(), []sim.Invocation{{Op: "tas"}}},
-		{"consensus-cell", consensus.NewCell(4), cellAlpha},
+		{"register", registers.New("init"), regAlpha, true},
+		{"WRN_3", wrn.New(3), modelcheck.WRNAlphabet(3, 2), true},
+		{"WRN_4", wrn.New(4), modelcheck.WRNAlphabet(4, 2), true},
+		{"WRN_5", wrn.New(5), modelcheck.WRNAlphabet(5, 2), true},
+		{"1sWRN_3", wrn.NewOneShot(3), modelcheck.WRNAlphabet(3, 2), true},
+		{"WRN_2=SWAP", wrn.New(2), modelcheck.WRNAlphabet(2, 2), false},
+		{"swap", consensus.NewSwap(nil), swapAlpha, false},
+		{"test-and-set", consensus.NewTestAndSet(), []sim.Invocation{{Op: "tas"}}, false},
+		{"consensus-cell", consensus.NewCell(4), cellAlpha, false},
 	}
+	wrong := 0
 	for _, r := range rows {
-		rep, err := modelcheck.CheckIndistinguishability(r.init, r.alpha, 1<<15)
+		rep, err := modelcheck.CheckIndistinguishabilityParallel(r.init, r.alpha, 1<<15, workers)
 		if err != nil {
 			return err
 		}
@@ -93,61 +107,80 @@ func expE6(w io.Writer) error {
 		if !rep.Passed() {
 			verdict = "FAIL (exposes 2-consensus power)"
 		}
+		if rep.Passed() != r.wantPass {
+			verdict += " ** UNEXPECTED **"
+			wrong++
+		}
 		fmt.Fprintf(w, "%-15s %-7d %-7d %-15d %-11d %s\n",
 			r.name, rep.States, rep.Pairs, len(rep.Failures), len(rep.Degenerate), verdict)
 	}
 	fmt.Fprintln(w)
+	if wrong > 0 {
+		return fmt.Errorf("%d object(s) contradict the paper's classification", wrong)
+	}
 	return nil
 }
 
 // expE11: valency analysis of the 2-consensus protocols.
-func expE11(w io.Writer) error {
+func expE11(w io.Writer, workers int) error {
 	fmt.Fprintln(w, "E11 Valency analysis: SWAP/WRN_2/TAS solve 2-consensus; the naive 3-process protocol breaks")
 	fmt.Fprintln(w, "protocol            configs  executions  bivalent  critical  agreement")
 	type row struct {
 		name string
 		f    modelcheck.Factory
+		// wantAgreement: every protocol agrees except the naive 3-process
+		// one on WRN_2, which must exhibit a disagreeing execution.
+		wantAgreement bool
 	}
 	rows := []row{
 		{"2-cons from SWAP", func() sim.Config {
 			objects := map[string]sim.Object{}
 			progs := consensus.TwoConsFromSwap(objects, "C", 10, 20)
 			return sim.Config{Objects: objects, Programs: progs}
-		}},
+		}, true},
 		{"2-cons from WRN_2", func() sim.Config {
 			objects := map[string]sim.Object{}
 			progs := consensus.TwoConsFromWRN2(objects, "W", 10, 20)
 			return sim.Config{Objects: objects, Programs: progs}
-		}},
+		}, true},
 		{"2-cons from TAS", func() sim.Config {
 			objects := map[string]sim.Object{}
 			progs := consensus.TwoConsFromTAS(objects, "T", 10, 20)
 			return sim.Config{Objects: objects, Programs: progs}
-		}},
+		}, true},
 		{"2-cons from queue", func() sim.Config {
 			objects := map[string]sim.Object{}
 			progs := consensus.TwoConsFromQueue(objects, "Q", 10, 20)
 			return sim.Config{Objects: objects, Programs: progs}
-		}},
+		}, true},
 		{"2-cons from f&add", func() sim.Config {
 			objects := map[string]sim.Object{}
 			progs := consensus.TwoConsFromFetchAdd(objects, "F", 10, 20)
 			return sim.Config{Objects: objects, Programs: progs}
-		}},
+		}, true},
 		{"3 procs on WRN_2", func() sim.Config {
 			objects := map[string]sim.Object{}
 			progs := consensus.ThreeFromWRN2Naive(objects, "W", [3]sim.Value{10, 20, 30})
 			return sim.Config{Objects: objects, Programs: progs}
-		}},
+		}, false},
 	}
+	wrong := 0
 	for _, r := range rows {
-		rep, err := modelcheck.AnalyzeValency(r.f, 0)
+		rep, err := modelcheck.AnalyzeValencyParallel(r.f, 0, workers)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-19s %-8d %-11d %-9d %-9d %v\n",
-			r.name, rep.Configs, rep.Executions, rep.Bivalent, rep.Critical, rep.Agreement)
+		note := ""
+		if rep.Agreement != r.wantAgreement {
+			note = "  ** UNEXPECTED **"
+			wrong++
+		}
+		fmt.Fprintf(w, "%-19s %-8d %-11d %-9d %-9d %v%s\n",
+			r.name, rep.Configs, rep.Executions, rep.Bivalent, rep.Critical, rep.Agreement, note)
 	}
 	fmt.Fprintln(w)
+	if wrong > 0 {
+		return fmt.Errorf("%d protocol(s) contradict the paper's classification", wrong)
+	}
 	return nil
 }

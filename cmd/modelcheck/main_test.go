@@ -7,7 +7,7 @@ import (
 
 func TestRunAll(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "all"); err != nil {
+	if err := run(&b, "all", 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := b.String()
@@ -30,6 +30,27 @@ func TestRunAll(t *testing.T) {
 	if !rowHas(out, "3 procs on WRN_2", "false") {
 		t.Error("naive 3-process row should disagree")
 	}
+	if strings.Contains(out, "UNEXPECTED") {
+		t.Errorf("verdicts diverged from the expected classification:\n%s", out)
+	}
+}
+
+// TestRunParallelDeterministic: the tables must be byte-identical for
+// every -parallel value.
+func TestRunParallelDeterministic(t *testing.T) {
+	var want strings.Builder
+	if err := run(&want, "all", 1); err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	for _, workers := range []int{2, 4} {
+		var got strings.Builder
+		if err := run(&got, "all", workers); err != nil {
+			t.Fatalf("parallel=%d run: %v", workers, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("parallel=%d output differs from sequential", workers)
+		}
+	}
 }
 
 func rowHas(out, prefix, want string) bool {
@@ -43,13 +64,13 @@ func rowHas(out, prefix, want string) bool {
 
 func TestRunSelection(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "e11"); err != nil {
+	if err := run(&b, "e11", 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if strings.Contains(b.String(), "E6") {
 		t.Error("e11 selection also ran e6")
 	}
-	if err := run(&b, "bogus"); err == nil {
+	if err := run(&b, "bogus", 0); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

@@ -91,6 +91,10 @@ func expE12(w io.Writer, runs int) error {
 		}
 	}
 	fmt.Fprintf(w, "%-11s %-13s %-10d %d/%d\n", "snapshot", "3 writers", runs, ok, runs)
+	if ok != runs {
+		fmt.Fprintln(w)
+		return fmt.Errorf("e12: %d/%d snapshot runs not linearizable", runs-ok, runs)
+	}
 
 	ids := []int{19, 3, 27, 8}
 	task := tasks.Renaming{Names: 2*len(ids) - 1}
@@ -113,6 +117,9 @@ func expE12(w io.Writer, runs int) error {
 		}
 	}
 	fmt.Fprintf(w, "%-11s %-13s %-10d %d/%d\n\n", "renaming", "4 of 32", runs, ok, runs)
+	if ok != runs {
+		return fmt.Errorf("e12: %d/%d renaming runs invalid", runs-ok, runs)
+	}
 	return nil
 }
 
@@ -245,6 +252,10 @@ func expE14(w io.Writer, _ int) error {
 			return err
 		}
 		fmt.Fprintf(w, "%-3d %-11d %d\n", n, count, violations)
+		if violations > 0 {
+			fmt.Fprintln(w)
+			return fmt.Errorf("e14: %d immediate-snapshot violations for n=%d", violations, n)
+		}
 	}
 	fmt.Fprintln(w)
 	return nil
@@ -288,6 +299,9 @@ func expE15(w io.Writer, runs int) error {
 		}
 	}
 	fmt.Fprintf(w, "%-29s %-10d %d/%d\n\n", "universal counter linearizes", runs, ok, runs)
+	if ok != runs {
+		return fmt.Errorf("e15: %d/%d universal-counter runs not linearizable", runs-ok, runs)
+	}
 	return nil
 }
 
@@ -317,6 +331,10 @@ func expE16(w io.Writer, _ int) error {
 			return err
 		}
 		fmt.Fprintf(w, "%-3d %-7d %-11d %-9d %d\n", c.n, c.rounds, count, len(seen), c.want)
+		if len(seen) != c.want {
+			fmt.Fprintln(w)
+			return fmt.Errorf("e16: n=%d rounds=%d produced %d outcome patterns, theory says %d", c.n, c.rounds, len(seen), c.want)
+		}
 	}
 	fmt.Fprintln(w)
 	return nil

@@ -5,12 +5,18 @@ import (
 	"sort"
 	"strings"
 
+	"detobj/internal/par"
 	"detobj/internal/sim"
 )
 
 // Finite is a deterministic object with an enumerable state space:
 // serializable state and deep copies. The registers, wrn and consensus
 // packages implement it for their objects.
+//
+// Concurrency contract: StateKey and CloneObject must be read-only on
+// the receiver — the parallel checker calls both from multiple
+// goroutines on shared states (Apply is only ever invoked on a fresh
+// clone, never on a shared state).
 type Finite interface {
 	sim.Object
 	// StateKey serializes the current state; equal keys mean equal states.
@@ -35,23 +41,44 @@ func stepFinite(s Finite, inv sim.Invocation) (Finite, string) {
 // from alphabet, keyed by StateKey. maxStates guards against unbounded
 // spaces (0 means 1<<16).
 func Reachable(init Finite, alphabet []sim.Invocation, maxStates int) (map[string]Finite, error) {
+	return reachableN(init, alphabet, maxStates, 1)
+}
+
+// reachableN is the breadth-first reachability sweep behind Reachable,
+// with each frontier state's successor row computed on the worker pool.
+// Deduplication stays sequential in (frontier index, alphabet index)
+// order, so the insertion order — and the exact point at which the
+// maxStates guard fires — matches the sequential sweep.
+func reachableN(init Finite, alphabet []sim.Invocation, maxStates, workers int) (map[string]Finite, error) {
 	if maxStates <= 0 {
 		maxStates = 1 << 16
+	}
+	type row struct {
+		succ Finite
+		key  string
 	}
 	states := map[string]Finite{init.StateKey(): init}
 	frontier := []Finite{init}
 	for len(frontier) > 0 {
+		rows := make([][]row, len(frontier))
+		_ = par.ForEach(len(frontier), workers, func(i int) error {
+			rs := make([]row, len(alphabet))
+			for j, inv := range alphabet {
+				succ, _ := stepFinite(frontier[i], inv)
+				rs[j] = row{succ: succ, key: succ.StateKey()}
+			}
+			rows[i] = rs
+			return nil
+		})
 		var next []Finite
-		for _, s := range frontier {
-			for _, inv := range alphabet {
-				succ, _ := stepFinite(s, inv)
-				key := succ.StateKey()
-				if _, seen := states[key]; !seen {
+		for _, rs := range rows {
+			for _, r := range rs {
+				if _, seen := states[r.key]; !seen {
 					if len(states) >= maxStates {
 						return nil, fmt.Errorf("modelcheck: state space exceeds %d states", maxStates)
 					}
-					states[key] = succ
-					next = append(next, succ)
+					states[r.key] = r.succ
+					next = append(next, r.succ)
 				}
 			}
 		}
@@ -67,6 +94,15 @@ func Reachable(init Finite, alphabet []sim.Invocation, maxStates int) (map[strin
 // objects are deterministic, observational equivalence and bisimilarity
 // coincide.
 func ObsClasses(states map[string]Finite, alphabet []sim.Invocation) map[string]int {
+	return obsClassesN(states, alphabet, 1)
+}
+
+// obsClassesN is the partition refinement behind ObsClasses, with each
+// refinement round's signature strings computed on the worker pool (the
+// class map is read-only during a round). Class ids are assigned
+// sequentially in sorted-key order, first-seen, exactly as the
+// sequential computation assigns them.
+func obsClassesN(states map[string]Finite, alphabet []sim.Invocation, workers int) map[string]int {
 	keys := make([]string, 0, len(states))
 	for k := range states {
 		keys = append(keys, k)
@@ -78,19 +114,23 @@ func ObsClasses(states map[string]Finite, alphabet []sim.Invocation) map[string]
 		class[k] = 0
 	}
 	for {
-		sigs := make(map[string]int)
-		next := make(map[string]int, len(keys))
-		for _, k := range keys {
+		sigRows := make([]string, len(keys))
+		_ = par.ForEach(len(keys), workers, func(i int) error {
 			var b strings.Builder
 			for _, inv := range alphabet {
-				succ, out := stepFinite(states[k], inv)
+				succ, out := stepFinite(states[keys[i]], inv)
 				fmt.Fprintf(&b, "%s>%d|", out, class[succ.StateKey()])
 			}
-			sig := b.String()
-			id, ok := sigs[sig]
+			sigRows[i] = b.String()
+			return nil
+		})
+		sigs := make(map[string]int)
+		next := make(map[string]int, len(keys))
+		for i, k := range keys {
+			id, ok := sigs[sigRows[i]]
 			if !ok {
 				id = len(sigs)
-				sigs[sig] = id
+				sigs[sigRows[i]] = id
 			}
 			next[k] = id
 		}
@@ -170,38 +210,66 @@ func (r *IndistReport) Clean() bool { return r.Passed() && len(r.Degenerate) == 
 // Observational equivalence is computed by ObsClasses over the full
 // alphabet — the strongest observer — so a pass here is conservative.
 func CheckIndistinguishability(init Finite, alphabet []sim.Invocation, maxStates int) (*IndistReport, error) {
-	states, err := Reachable(init, alphabet, maxStates)
+	return checkIndistN(init, alphabet, maxStates, 1)
+}
+
+// CheckIndistinguishabilityParallel is CheckIndistinguishability across
+// a worker pool (<= 0 workers means GOMAXPROCS): reachability rounds,
+// refinement rounds and the per-state pair analysis all fan out, and
+// every result list is concatenated in sorted-state-key order, so the
+// report is byte-identical to the sequential checker's.
+func CheckIndistinguishabilityParallel(init Finite, alphabet []sim.Invocation, maxStates, workers int) (*IndistReport, error) {
+	return checkIndistN(init, alphabet, maxStates, par.Normalize(workers, -1))
+}
+
+// checkIndistN runs the Lemma 38 case analysis with each state's pair
+// loop on the worker pool. Per-state failure lists land in an indexed
+// slot and are concatenated in sorted-key order, matching the
+// sequential append order.
+func checkIndistN(init Finite, alphabet []sim.Invocation, maxStates, workers int) (*IndistReport, error) {
+	states, err := reachableN(init, alphabet, maxStates, workers)
 	if err != nil {
 		return nil, err
 	}
-	class := ObsClasses(states, alphabet)
+	class := obsClassesN(states, alphabet, workers)
 	cls := func(s Finite) int { return class[s.StateKey()] }
 
-	rep := &IndistReport{States: len(states)}
 	keys := make([]string, 0, len(states))
 	for k := range states {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 
-	for _, key := range keys {
-		s := states[key]
+	type chunk struct {
+		failures, degenerate []PairFailure
+	}
+	chunks := make([]chunk, len(keys))
+	_ = par.ForEach(len(keys), workers, func(i int) error {
+		s := states[keys[i]]
+		var c chunk
 		for _, a := range alphabet {
 			for _, b := range alphabet {
-				rep.Pairs++
 				va := classify(s, a, b, cls)
 				vb := classify(s, b, a, cls)
 				if va == pairIndist || vb == pairIndist {
 					continue // some issuer cannot distinguish: obligation met
 				}
-				f := PairFailure{State: key, A: a, B: b}
+				f := PairFailure{State: keys[i], A: a, B: b}
 				if va == pairDistinguish || vb == pairDistinguish {
-					rep.Failures = append(rep.Failures, f)
+					c.failures = append(c.failures, f)
 				} else {
-					rep.Degenerate = append(rep.Degenerate, f)
+					c.degenerate = append(c.degenerate, f)
 				}
 			}
 		}
+		chunks[i] = c
+		return nil
+	})
+
+	rep := &IndistReport{States: len(states), Pairs: len(keys) * len(alphabet) * len(alphabet)}
+	for _, c := range chunks {
+		rep.Failures = append(rep.Failures, c.failures...)
+		rep.Degenerate = append(rep.Degenerate, c.degenerate...)
 	}
 	return rep, nil
 }

@@ -81,43 +81,62 @@ func Explore(f Factory, limit int, visit func(e Execution) error) (int, error) {
 		limit = 1 << 20
 	}
 	count := 0
-	var rec func(sched, choices []int) error
-	rec = func(sched, choices []int) error {
-		res, err := runScripted(f, sched, choices)
-		if err != nil {
-			var demand choiceDemand
-			if asDemand(err, &demand) {
-				for c := 0; c < demand.n; c++ {
-					if err := rec(sched, append(choices[:len(choices):len(choices)], c)); err != nil {
-						return err
-					}
+	err := exploreDFS(f, nil, nil, func(e Execution) error {
+		count++
+		if count > limit {
+			return errLimitExceeded(limit)
+		}
+		return visit(e)
+	})
+	return count, err
+}
+
+// errLimitExceeded builds the canonical budget error; ExploreParallel
+// must produce byte-identical errors, so the rendering lives here.
+func errLimitExceeded(limit int) error {
+	return fmt.Errorf("%w (%d executions)", ErrLimit, limit)
+}
+
+// exploreDFS enumerates, in depth-first lexicographic order, every
+// complete execution reachable from the (sched, choices) prefix and
+// calls emit once per execution. The branching discipline — choice
+// values 0..n−1 before deeper schedules, enabled ids in increasing
+// order — is THE canonical exploration order: Explore and
+// ExploreParallel both derive their visit sequences from this one
+// function, which is what makes their outputs byte-identical.
+func exploreDFS(f Factory, sched, choices []int, emit func(e Execution) error) error {
+	res, err := runScripted(f, sched, choices)
+	if err != nil {
+		var demand choiceDemand
+		if asDemand(err, &demand) {
+			for c := 0; c < demand.n; c++ {
+				if err := exploreDFS(f, sched, appendStep(choices, c), emit); err != nil {
+					return err
 				}
-				return nil
 			}
+			return nil
+		}
+		return err
+	}
+	if len(res.Enabled) == 0 {
+		return emit(Execution{
+			Schedule: append([]int(nil), sched...),
+			Choices:  append([]int(nil), choices...),
+			Result:   res,
+		})
+	}
+	for _, id := range res.Enabled {
+		if err := exploreDFS(f, appendStep(sched, id), choices, emit); err != nil {
 			return err
 		}
-		if len(res.Enabled) == 0 {
-			count++
-			if count > limit {
-				return fmt.Errorf("%w (%d executions)", ErrLimit, limit)
-			}
-			return visit(Execution{
-				Schedule: append([]int(nil), sched...),
-				Choices:  append([]int(nil), choices...),
-				Result:   res,
-			})
-		}
-		for _, id := range res.Enabled {
-			if err := rec(append(sched[:len(sched):len(sched)], id), choices); err != nil {
-				return err
-			}
-		}
-		return nil
 	}
-	if err := rec(nil, nil); err != nil {
-		return count, err
-	}
-	return count, nil
+	return nil
+}
+
+// appendStep extends a prefix without aliasing the parent's backing
+// array (siblings share the parent slice, so plain append would race).
+func appendStep(prefix []int, v int) []int {
+	return append(prefix[:len(prefix):len(prefix)], v)
 }
 
 // runScripted replays the configuration under a fixed schedule and choice
@@ -148,10 +167,16 @@ func asDemand(err error, out *choiceDemand) bool {
 func VerifyAll(f Factory, limit int, check func(res *sim.Result) error) (int, error) {
 	return Explore(f, limit, func(e Execution) error {
 		if err := check(e.Result); err != nil {
-			return fmt.Errorf("schedule %v choices %v: %w", e.Schedule, e.Choices, err)
+			return verifyErr(e, err)
 		}
 		return nil
 	})
+}
+
+// verifyErr pins a check failure to its execution; shared by VerifyAll
+// and VerifyAllParallel so both render failures identically.
+func verifyErr(e Execution, err error) error {
+	return fmt.Errorf("schedule %v choices %v: %w", e.Schedule, e.Choices, err)
 }
 
 // DecisionVectors explores every execution and returns the set of distinct

@@ -31,6 +31,122 @@ type ValencyReport struct {
 	DisagreementSchedule []int
 }
 
+// valencyAcc accumulates the report fields during one (sub)tree
+// recursion. Every field is either a commutative count or resolved by
+// depth-first position (disagreement), so per-subtree accumulators can
+// be merged deterministically by AnalyzeValencyParallel.
+type valencyAcc struct {
+	configs, executions, bivalent, critical int
+	values                                  map[string]bool
+	disagreement                            []int // DFS-first disagreeing schedule, nil if none
+}
+
+func newValencyAcc() *valencyAcc {
+	return &valencyAcc{values: make(map[string]bool)}
+}
+
+// report renders the accumulator as the public report.
+func (a *valencyAcc) report() *ValencyReport {
+	rep := &ValencyReport{
+		Configs:              a.configs,
+		Executions:           a.executions,
+		Bivalent:             a.bivalent,
+		Critical:             a.critical,
+		Agreement:            a.disagreement == nil,
+		DisagreementSchedule: a.disagreement,
+	}
+	for v := range a.values {
+		rep.Values = append(rep.Values, v)
+	}
+	sort.Strings(rep.Values)
+	return rep
+}
+
+// decisionValues is the set of values decided within one complete
+// execution (outputs of StatusDone processes, rendered).
+func decisionValues(res *sim.Result) map[string]bool {
+	vals := make(map[string]bool)
+	for i, st := range res.Status {
+		if st == sim.StatusDone {
+			vals[fmt.Sprint(res.Outputs[i])] = true
+		}
+	}
+	return vals
+}
+
+// errNondetValency wraps a choice demand: valency analysis is defined
+// over deterministic objects only.
+func errNondetValency(err error) error {
+	return fmt.Errorf("modelcheck: valency analysis requires deterministic objects: %w", err)
+}
+
+// valencyHooks are the two extension points the parallel engine needs:
+// gate runs at every configuration (abort checks), counted after every
+// complete execution (budget enforcement). Either may be nil.
+type valencyHooks struct {
+	gate    func() error
+	counted func() error
+}
+
+// valencyRec returns the set of decision values reachable from the
+// configuration reached by sched, accumulating tree statistics into acc.
+// It is the single recursion both AnalyzeValency and
+// AnalyzeValencyParallel run, so their per-subtree numbers agree by
+// construction.
+func valencyRec(f Factory, sched []int, acc *valencyAcc, hooks valencyHooks) (map[string]bool, error) {
+	if hooks.gate != nil {
+		if err := hooks.gate(); err != nil {
+			return nil, err
+		}
+	}
+	res, err := runScripted(f, sched, nil)
+	if err != nil {
+		var demand choiceDemand
+		if asDemand(err, &demand) {
+			return nil, errNondetValency(err)
+		}
+		return nil, err
+	}
+	acc.configs++
+	if len(res.Enabled) == 0 {
+		acc.executions++
+		if hooks.counted != nil {
+			if err := hooks.counted(); err != nil {
+				return nil, err
+			}
+		}
+		vals := decisionValues(res)
+		if len(vals) > 1 && acc.disagreement == nil {
+			acc.disagreement = append([]int(nil), sched...)
+		}
+		for v := range vals {
+			acc.values[v] = true
+		}
+		return vals, nil
+	}
+	union := make(map[string]bool)
+	allChildrenUnivalent := true
+	for _, id := range res.Enabled {
+		child, err := valencyRec(f, appendStep(sched, id), acc, hooks)
+		if err != nil {
+			return nil, err
+		}
+		if len(child) > 1 {
+			allChildrenUnivalent = false
+		}
+		for v := range child {
+			union[v] = true
+		}
+	}
+	if len(union) > 1 {
+		acc.bivalent++
+		if allChildrenUnivalent {
+			acc.critical++
+		}
+	}
+	return union, nil
+}
+
 // AnalyzeValency explores the full execution tree of a consensus-style
 // protocol and reports its valency structure. Decision values are the
 // outputs of processes with StatusDone. limit bounds complete executions.
@@ -38,71 +154,15 @@ func AnalyzeValency(f Factory, limit int) (*ValencyReport, error) {
 	if limit <= 0 {
 		limit = 1 << 20
 	}
-	rep := &ValencyReport{Agreement: true}
-	values := make(map[string]bool)
-
-	// valency returns the set of decision values reachable from the
-	// configuration reached by sched.
-	var valency func(sched []int) (map[string]bool, error)
-	valency = func(sched []int) (map[string]bool, error) {
-		res, err := runScripted(f, sched, nil)
-		if err != nil {
-			var demand choiceDemand
-			if asDemand(err, &demand) {
-				return nil, fmt.Errorf("modelcheck: valency analysis requires deterministic objects: %w", err)
-			}
-			return nil, err
+	acc := newValencyAcc()
+	_, err := valencyRec(f, nil, acc, valencyHooks{counted: func() error {
+		if acc.executions > limit {
+			return errLimitExceeded(limit)
 		}
-		rep.Configs++
-		if len(res.Enabled) == 0 {
-			rep.Executions++
-			if rep.Executions > limit {
-				return nil, fmt.Errorf("%w (%d executions)", ErrLimit, limit)
-			}
-			vals := make(map[string]bool)
-			for i, st := range res.Status {
-				if st == sim.StatusDone {
-					vals[fmt.Sprint(res.Outputs[i])] = true
-				}
-			}
-			if len(vals) > 1 && rep.Agreement {
-				rep.Agreement = false
-				rep.DisagreementSchedule = append([]int(nil), sched...)
-			}
-			for v := range vals {
-				values[v] = true
-			}
-			return vals, nil
-		}
-		union := make(map[string]bool)
-		allChildrenUnivalent := true
-		for _, id := range res.Enabled {
-			child, err := valency(append(sched[:len(sched):len(sched)], id))
-			if err != nil {
-				return nil, err
-			}
-			if len(child) > 1 {
-				allChildrenUnivalent = false
-			}
-			for v := range child {
-				union[v] = true
-			}
-		}
-		if len(union) > 1 {
-			rep.Bivalent++
-			if allChildrenUnivalent {
-				rep.Critical++
-			}
-		}
-		return union, nil
-	}
-
-	if _, err := valency(nil); err != nil {
+		return nil
+	}})
+	if err != nil {
 		return nil, err
 	}
-	for v := range values {
-		rep.Values = append(rep.Values, v)
-	}
-	sort.Strings(rep.Values)
-	return rep, nil
+	return acc.report(), nil
 }

@@ -1,0 +1,81 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 500
+		hits := make([]int32, n)
+		if err := ForEach(n, workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	// Errors at many indices; the reported one must always be the lowest,
+	// regardless of worker count or scheduling.
+	for _, workers := range []int{1, 2, 5, 16} {
+		err := ForEach(400, workers, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("fail@%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail@3" {
+			t.Fatalf("workers=%d: err = %v, want fail@3", workers, err)
+		}
+	}
+}
+
+func TestForEachCompletesPrefixBeforeError(t *testing.T) {
+	// Every index below the failing one must have completed.
+	const n, bad = 1000, 700
+	done := make([]int32, n)
+	err := ForEach(n, 8, func(i int) error {
+		if i == bad {
+			return errors.New("boom")
+		}
+		atomic.AddInt32(&done[i], 1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for i := 0; i < bad; i++ {
+		if atomic.LoadInt32(&done[i]) != 1 {
+			t.Fatalf("index %d below failure did not complete", i)
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize(0, 100); got != Default() {
+		t.Errorf("Normalize(0, 100) = %d, want Default() = %d", got, Default())
+	}
+	if got := Normalize(8, 3); got != 3 {
+		t.Errorf("Normalize(8, 3) = %d, want 3", got)
+	}
+	if got := Normalize(-1, 0); got != 1 {
+		t.Errorf("Normalize(-1, 0) = %d, want 1", got)
+	}
+}

@@ -56,7 +56,9 @@ func (e *ObjectPanicError) Unwrap() error { return ErrObjectPanic }
 type Program func(ctx *Ctx) Value
 
 // Config describes one run: the shared objects, one program per process,
-// the scheduler and determinism parameters.
+// the scheduler and determinism parameters. Concurrent Runs are safe only
+// over Configs sharing no mutable state — see the package comment's
+// "Concurrency contract".
 type Config struct {
 	// Objects maps object names to fresh object instances. Objects carry
 	// state, so a Config (with its Objects) describes a single run; use a

@@ -34,6 +34,9 @@ func (v View) EnabledSet(id int) bool {
 
 // Scheduler chooses which enabled process takes the next atomic step.
 // Implementations must return either Stop or an id drawn from v.Enabled.
+// A Scheduler instance belongs to one run: implementations may keep
+// per-run state and are driven without locking (see the package
+// comment's "Concurrency contract").
 type Scheduler interface {
 	Next(v View) int
 }

@@ -12,9 +12,28 @@
 // over-budget operation by parking the calling process forever. A run
 // terminates when every process has either produced an output or been
 // parked.
+//
+// # Concurrency contract
+//
+// Concurrent calls to Run are safe if and only if the Configs share no
+// mutable state. The parallel engines (modelcheck.ExploreParallel, the
+// -parallel seed sweeps) rely on exactly this, so the contract is:
+//
+//   - Objects, Scheduler, Choice and (if the scheduler implements it)
+//     Observer instances belong to ONE run. They hold per-run state and
+//     are driven without locking; never share an instance between
+//     concurrent Runs. A Factory must build fresh instances per call.
+//   - Programs are shared safely only when they are pure functions of
+//     their Ctx: closures must not write captured variables. Capturing
+//     loop variables or configuration constants by value is fine.
+//   - The returned Result (including its Trace) is owned by the caller
+//     and safe to read from any goroutine once Run returns.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Value is the domain of object states, operation arguments and results.
 // The library restricts itself to comparable values (ints, strings, small
@@ -37,19 +56,23 @@ func (inv Invocation) Arg(i int) Value {
 	return inv.Args[i]
 }
 
-// String renders the invocation as op(a0, a1, ...).
+// String renders the invocation as op(a0, a1, ...). Traces render every
+// step through here, so it must not allocate quadratically.
 func (inv Invocation) String() string {
 	if len(inv.Args) == 0 {
 		return inv.Op + "()"
 	}
-	s := inv.Op + "("
+	var b strings.Builder
+	b.WriteString(inv.Op)
+	b.WriteByte('(')
 	for i, a := range inv.Args {
 		if i > 0 {
-			s += ", "
+			b.WriteString(", ")
 		}
-		s += fmt.Sprint(a)
+		fmt.Fprint(&b, a)
 	}
-	return s + ")"
+	b.WriteByte(')')
+	return b.String()
 }
 
 // Effect describes what happens to the calling process after an operation

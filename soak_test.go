@@ -3,6 +3,11 @@ package detobj_test
 // Soak campaigns: high-volume randomized validation of the paper's
 // algorithms, skipped under -short. The default `go test ./...` runs them;
 // CI-style quick runs use `go test -short ./...`.
+//
+// Seed sweeps fan out over par.ForEach: every run is a pure function of
+// its seed, workers report errors instead of calling t.Fatal (which must
+// run on the test goroutine), and ForEach surfaces the lowest-seed
+// failure — the same one the sequential loop would have hit first.
 
 import (
 	"fmt"
@@ -10,6 +15,7 @@ import (
 
 	"detobj/internal/chaos"
 	"detobj/internal/linearize"
+	"detobj/internal/par"
 	"detobj/internal/setconsensus"
 	"detobj/internal/sim"
 	"detobj/internal/tasks"
@@ -23,8 +29,10 @@ func TestSoakAlg5Linearizability(t *testing.T) {
 		t.Skip("soak test")
 	}
 	for k := 2; k <= 6; k++ {
+		k := k
 		spec := wrn.Spec(k)
-		for seed := int64(0); seed < 1500; seed++ {
+		err := par.ForEach(1500, 0, func(s int) error {
+			seed := int64(s)
 			objects := map[string]sim.Object{}
 			impl := wrn.NewImpl(objects, "LW", k)
 			progs := make([]sim.Program, k)
@@ -42,11 +50,15 @@ func TestSoakAlg5Linearizability(t *testing.T) {
 				MaxSteps:  1 << 18,
 			})
 			if err != nil {
-				t.Fatalf("k=%d seed=%d: %v", k, seed, err)
+				return fmt.Errorf("k=%d seed=%d: %w", k, seed, err)
 			}
 			if !linearize.Check(spec, linearize.Ops(res.Trace, impl.Name())).OK {
-				t.Fatalf("k=%d seed=%d: not linearizable", k, seed)
+				return fmt.Errorf("k=%d seed=%d: not linearizable", k, seed)
 			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 }
@@ -60,7 +72,7 @@ func TestSoakAlg3Campaign(t *testing.T) {
 	const k, m = 3, 32
 	family := setconsensus.CoveringFamily(k)
 	task := tasks.SetConsensus{K: k - 1}
-	for trial := 0; trial < 400; trial++ {
+	err := par.ForEach(400, 0, func(trial int) error {
 		ids := []int{(trial * 3) % m, (trial*3 + 11) % m, (trial*3 + 19) % m}
 		objects := map[string]sim.Object{}
 		a, ones := setconsensus.NewAlg3(objects, "A", k, m, family)
@@ -82,19 +94,23 @@ func TestSoakAlg3Campaign(t *testing.T) {
 			MaxSteps:  1 << 20,
 		})
 		if err != nil {
-			t.Fatalf("trial %d: %v", trial, err)
+			return fmt.Errorf("trial %d: %w", trial, err)
 		}
 		o := tasks.OutcomeFromResult(res, inputs)
 		if err := task.Check(o); err != nil {
-			t.Fatalf("trial %d: %v", trial, err)
+			return fmt.Errorf("trial %d: %w", trial, err)
 		}
 		for l, one := range ones {
 			for i := 0; i < k; i++ {
 				if one.Invocations(i) > 1 {
-					t.Fatalf("trial %d: instance %d index %d used twice", trial, l, i)
+					return fmt.Errorf("trial %d: instance %d index %d used twice", trial, l, i)
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -132,7 +148,9 @@ func TestSoakChaosAdversaries(t *testing.T) {
 	}
 	spec := wrn.Spec(k)
 	for _, s := range stacks {
-		for seed := int64(0); seed < 300; seed++ {
+		s := s
+		err := par.ForEach(300, 0, func(sd int) error {
+			seed := int64(sd)
 			r := chaos.NewReport(seed)
 			objects := map[string]sim.Object{}
 			impl := wrn.NewImpl(objects, "LW", k)
@@ -152,12 +170,16 @@ func TestSoakChaosAdversaries(t *testing.T) {
 				VerifyReplay: true,
 			})
 			if err != nil {
-				t.Fatalf("%s seed=%d: %v\n%s", s.name, seed, err, r)
+				return fmt.Errorf("%s seed=%d: %w\n%s", s.name, seed, err, r)
 			}
 			done, pending := linearize.OpsWithPending(res.Trace, impl.Name())
 			if !linearize.Check(spec, append(done, pending...)).OK {
-				t.Fatalf("%s seed=%d: chaos history not linearizable\n%s", s.name, seed, r)
+				return fmt.Errorf("%s seed=%d: chaos history not linearizable\n%s", s.name, seed, r)
 			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 }
@@ -171,7 +193,8 @@ func TestSoakBoundedNeverHangs(t *testing.T) {
 		t.Skip("soak test")
 	}
 	const k = 4
-	for seed := int64(0); seed < 500; seed++ {
+	err := par.ForEach(500, 0, func(sd int) error {
+		seed := int64(sd)
 		r := chaos.NewReport(seed)
 		objects := map[string]sim.Object{
 			"W": chaos.NewBounded(wrn.NewOneShot(k), 6),
@@ -199,13 +222,17 @@ func TestSoakBoundedNeverHangs(t *testing.T) {
 			VerifyReplay: true,
 		})
 		if err != nil {
-			t.Fatalf("seed=%d: %v", seed, err)
+			return fmt.Errorf("seed=%d: %w", seed, err)
 		}
 		for i, st := range res.Status {
 			if st != sim.StatusDone {
-				t.Fatalf("seed=%d: process %d ended %v — Bounded must never hang", seed, i, st)
+				return fmt.Errorf("seed=%d: process %d ended %v — Bounded must never hang", seed, i, st)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -217,8 +244,10 @@ func TestSoakAlg6WideSweep(t *testing.T) {
 	}
 	for _, k := range []int{3, 4, 5, 6} {
 		for _, n := range []int{k, 2 * k, 3*k - 1, 4 * k} {
+			k, n := k, n
 			task := tasks.SetConsensus{K: setconsensus.Guarantee(n, k)}
-			for seed := int64(0); seed < 100; seed++ {
+			err := par.ForEach(100, 0, func(sd int) error {
+				seed := int64(sd)
 				objects := map[string]sim.Object{}
 				a := setconsensus.NewAlg6(objects, "G", n, k)
 				inputs := map[int]sim.Value{}
@@ -233,12 +262,16 @@ func TestSoakAlg6WideSweep(t *testing.T) {
 					Scheduler: sim.NewRandom(seed),
 				})
 				if err != nil {
-					t.Fatalf("n=%d k=%d seed=%d: %v", n, k, seed, err)
+					return fmt.Errorf("n=%d k=%d seed=%d: %w", n, k, seed, err)
 				}
 				o := tasks.OutcomeFromResult(res, inputs)
 				if err := task.Check(o); err != nil {
-					t.Fatalf("n=%d k=%d seed=%d: %v", n, k, seed, err)
+					return fmt.Errorf("n=%d k=%d seed=%d: %w", n, k, seed, err)
 				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
 			}
 		}
 	}
