@@ -46,14 +46,14 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Run the full benchmark suite and distill it into BENCH_5.json via
+# Run the full benchmark suite and distill it into BENCH_6.json via
 # cmd/benchjson, which pairs the .../seq and .../par sub-benchmarks of
 # bench_parallel_test.go and reports the parallel engines' speedup. The
 # JSON records numcpu/gomaxprocs so committed numbers are honest about
 # the machine they were measured on.
 bench:
 	$(GO) test -bench=. -benchmem . | tee bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_5.json < bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_6.json < bench.out
 	rm -f bench.out
 
 # One iteration per benchmark — a CI-sized check that the harness and

@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchmem . | go run ./cmd/benchjson -o BENCH_5.json
+//	go test -bench=. -benchmem . | go run ./cmd/benchjson -o BENCH_6.json
 package main
 
 import (
@@ -54,6 +54,7 @@ type Report struct {
 	NumCPU     int         `json:"numcpu"`
 	Gomaxprocs int         `json:"gomaxprocs"`
 	Note       string      `json:"note,omitempty"`
+	Warning    string      `json:"warning,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 	Speedups   []Speedup   `json:"speedups,omitempty"`
 }
@@ -64,7 +65,7 @@ type Report struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("o", "BENCH_5.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_6.json", "output file (- for stdout)")
 	flag.Parse()
 	rep, err := parse(os.Stdin)
 	if err != nil {
@@ -102,6 +103,10 @@ func parse(r io.Reader) (*Report, error) {
 	}
 	if rep.Gomaxprocs < 4 {
 		rep.Note = "measured below GOMAXPROCS=4; the parallel engines' speedup materializes at GOMAXPROCS >= 4"
+	}
+	if rep.NumCPU == 1 {
+		rep.Warning = "single-CPU machine: seq/par speedup figures are meaningless here; only ns/op and allocs/op are comparable across runs"
+		fmt.Fprintln(os.Stderr, "benchjson: warning:", rep.Warning)
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

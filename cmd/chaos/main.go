@@ -138,6 +138,8 @@ func simRun(seed int64, k int, mk func(r *chaos.Report) sim.Scheduler, r *chaos.
 
 // simSweep runs every simulator adversary for one seed, twice each,
 // demanding byte-identical traces and reports across the two runs.
+//
+//detlint:hot
 func simSweep(w io.Writer, seed int64, verbose bool) error {
 	const k = 4
 	victim := int(seed) % k
@@ -209,6 +211,8 @@ func simSweep(w io.Writer, seed int64, verbose bool) error {
 // among the survivors. The printed line carries only the seed's
 // deterministic fault plan, so the sweep output reproduces byte for
 // byte.
+//
+//detlint:hot
 func nativeSweep(w io.Writer, seed int64) error {
 	const k, m = 3, 16
 	ids := []int{2, 9, 14}

@@ -23,7 +23,13 @@
 //
 // -rules=<comma-list> runs a subset of the suite (allowaudit only
 // judges allows whose rules all ran, so a partial run cannot declare an
-// annotation stale).
+// annotation stale). -hot runs just the hot-path rules (hotalloc,
+// boxing, arenaready), whose allocation findings are capped by the
+// committed per-function budgets in .detlint.hot — each hot rule judges
+// only its own budget entries, so a run that skips a rule says nothing
+// about that rule's budgets. -hotreport=<path> additionally writes a
+// byte-stable JSON ranking of hot functions by static allocation score,
+// cross-referencing the newest BENCH_*.json allocs/op figures.
 //
 // Runs are incremental: the result of a clean run is cached in
 // .detlint.cache at the module root, keyed by a content hash of every
@@ -54,6 +60,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print the report as JSON instead of text")
 	sarifOut := flag.String("sarif", "", "also write a SARIF 2.1.0 log to the given path")
 	noCache := flag.Bool("no-cache", false, "ignore and do not write the result cache")
+	hot := flag.Bool("hot", false, "run only the hot-path rules (hotalloc, boxing, arenaready)")
+	hotReport := flag.String("hotreport", "", "write a JSON ranking of hot functions by allocation score to the given path")
 	flag.Parse()
 
 	if *list {
@@ -73,6 +81,12 @@ func main() {
 	}
 
 	analyzers := lint.Analyzers()
+	if *hot && *rules != "" {
+		fatal(fmt.Errorf("detlint: -hot and -rules are mutually exclusive"))
+	}
+	if *hot {
+		analyzers = lint.HotAnalyzers()
+	}
 	if *rules != "" {
 		want := make(map[string]bool)
 		for _, r := range strings.Split(*rules, ",") {
@@ -109,16 +123,30 @@ func main() {
 			fmt.Fprintln(os.Stderr, "detlint: cache hit")
 		}
 	}
-	if report == nil {
+	var mod *lint.Module
+	if report == nil || *hotReport != "" {
 		m, err := lint.Load(root)
 		if err != nil {
 			fatal(err)
 		}
-		report = lint.NewReport(root, lint.Run(m, analyzers))
+		mod = m
+	}
+	if report == nil {
+		report = lint.NewReport(root, lint.Run(mod, analyzers))
 		if !*noCache {
 			if err := lint.SaveCache(root, &lint.CachedRun{Key: key, Report: report}); err != nil {
 				fmt.Fprintf(os.Stderr, "detlint: cache not written: %v\n", err)
 			}
+		}
+	}
+
+	if *hotReport != "" {
+		b, err := lint.BuildHotReport(mod).JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*hotReport, b, 0o644); err != nil {
+			fatal(err)
 		}
 	}
 

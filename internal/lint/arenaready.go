@@ -1,0 +1,199 @@
+package lint
+
+// arenaready is the machine-checked contract for the ROADMAP's
+// order-of-magnitude state-space engine: types nominated for the
+// future arena/transposition-table encoding must already be flat. A
+// flat type is fixed-size and comparable with no interior pointers —
+// it can live in a contiguous arena slab, be hashed by its bytes, and
+// be compared without chasing the heap. Nominating a type early means
+// every later edit that would sneak a slice or map into it fails CI
+// now, instead of failing the arena migration later.
+//
+// Nomination and the escape hatch are comment directives:
+//
+//	//detlint:arena
+//	type transition struct { succ int32; out int32 }
+//
+// A struct field that is deliberately non-flat — because the arena
+// encoder interns or serializes it — declares its encoding:
+//
+//	//detlint:encoder <justification>
+//	name string
+//
+// The justification is mandatory, mirroring //detlint:allow. Flatness
+// recurses through named types, arrays, and nested structs; strings,
+// slices, maps, pointers, channels, functions, and interfaces are
+// interior-pointer carriers and fail.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+const arenaReadyName = "arenaready"
+
+// arenaDirective nominates a type; encoderDirective exempts a field.
+const (
+	arenaDirective   = "detlint:arena"
+	encoderDirective = "detlint:encoder"
+)
+
+// AnalyzerArenaReady returns the arenaready rule.
+func AnalyzerArenaReady() *Analyzer {
+	return &Analyzer{
+		Name: arenaReadyName,
+		Doc:  "types nominated //detlint:arena must be flat (fixed-size, comparable, no interior pointers) outside declared //detlint:encoder fields",
+		Run:  runArenaReady,
+	}
+}
+
+func runArenaReady(m *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range m.Pkgs {
+		if !m.InScope(pkg, "internal", "cmd") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				declNominated := hasDirective(gd.Doc, arenaDirective)
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if declNominated || hasDirective(ts.Doc, arenaDirective) {
+						out = append(out, checkArenaType(m, pkg, ts)...)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkArenaType verifies one nominated type's flatness.
+func checkArenaType(m *Module, pkg *Package, ts *ast.TypeSpec) []Diagnostic {
+	var out []Diagnostic
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		// Non-struct nomination: the whole underlying type must be flat.
+		t := pkg.Info.TypeOf(ts.Type)
+		if reason, flat := flatType(t, nil); !flat {
+			out = append(out, Diagnostic{Pos: m.position(ts),
+				Msg: fmt.Sprintf("arena-nominated type %s.%s is not flat: %s; a flat encoding or a struct with //detlint:encoder fields is required",
+					pkg.Types.Name(), ts.Name.Name, reason)})
+		}
+		return out
+	}
+	for _, field := range st.Fields.List {
+		hatch, justified := encoderHatch(field)
+		if hatch {
+			if !justified {
+				out = append(out, Diagnostic{Pos: m.position(field),
+					Msg: "detlint:encoder must carry an inline justification naming the encoding"})
+			}
+			continue
+		}
+		t := pkg.Info.TypeOf(field.Type)
+		if reason, flat := flatType(t, nil); !flat {
+			name := fieldLabel(field)
+			out = append(out, Diagnostic{Pos: m.position(field),
+				Msg: fmt.Sprintf("field %s of arena-nominated %s.%s is not flat: %s; flatten it or declare its encoding with //detlint:encoder",
+					name, pkg.Types.Name(), ts.Name.Name, reason)})
+		}
+	}
+	return out
+}
+
+// encoderHatch reports whether a field carries the encoder directive
+// (in its doc or trailing comment) and whether it is justified.
+func encoderHatch(field *ast.Field) (found, justified bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, encoderDirective)
+			if !ok {
+				continue
+			}
+			found = true
+			if len(strings.Fields(rest)) > 0 {
+				justified = true
+			}
+		}
+	}
+	return found, justified
+}
+
+func fieldLabel(field *ast.Field) string {
+	if len(field.Names) == 0 {
+		return "(embedded)"
+	}
+	names := make([]string, len(field.Names))
+	for i, n := range field.Names {
+		names[i] = n.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// flatType reports whether t is flat — fixed-size, comparable, no
+// interior pointers — or the reason it is not. seen breaks recursive
+// type cycles (a recursive type necessarily goes through a pointer
+// and fails there anyway).
+func flatType(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if t == nil {
+		return "type information is unavailable", false
+	}
+	if seen[t] {
+		return "", true
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch u := types.Unalias(t).Underlying().(type) {
+	case *types.Basic:
+		switch {
+		case u.Info()&types.IsString != 0:
+			return "string (variable size, interior pointer to its bytes)", false
+		case u.Kind() == types.UnsafePointer:
+			return "unsafe.Pointer (interior pointer)", false
+		}
+		return "", true
+	case *types.Pointer:
+		return fmt.Sprintf("pointer (%s)", types.TypeString(t, nil)), false
+	case *types.Slice:
+		return fmt.Sprintf("slice (%s): variable size, interior pointer to its backing array", types.TypeString(t, nil)), false
+	case *types.Map:
+		return fmt.Sprintf("map (%s): interior pointer to its buckets", types.TypeString(t, nil)), false
+	case *types.Chan:
+		return "channel (interior pointer, not data)", false
+	case *types.Signature:
+		return "function value (interior pointer, not comparable)", false
+	case *types.Interface:
+		return "interface (interior pointer, dynamic size)", false
+	case *types.Array:
+		if reason, ok := flatType(u.Elem(), seen); !ok {
+			return "array element: " + reason, false
+		}
+		return "", true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if reason, ok := flatType(f.Type(), seen); !ok {
+				return fmt.Sprintf("nested field %s: %s", f.Name(), reason), false
+			}
+		}
+		return "", true
+	default:
+		return fmt.Sprintf("unrecognized type %s", types.TypeString(t, nil)), false
+	}
+}

@@ -5,8 +5,9 @@ package lint
 // common case — nothing changed since the last run — should not pay it.
 // The cache key is a content hash over everything a run can observe:
 // the detlint version, the selected rule names, go.mod, EXPERIMENTS.md
-// (facadeparity reads it), and every .go file of the module including
-// _test.go files (schedulecoverage parses tests). If the key matches,
+// (facadeparity reads it), .detlint.hot (the hot rules' budgets), and
+// every .go file of the module including _test.go files
+// (schedulecoverage parses tests). If the key matches,
 // the cached report — findings and all — is the run's result, bit for
 // bit; detlint still exits nonzero on cached findings.
 
@@ -36,12 +37,18 @@ type CachedRun struct {
 // CacheKey computes the content hash of everything a run over the
 // module at root with the given analyzers can observe.
 func CacheKey(root string, analyzers []*Analyzer) (string, error) {
+	return cacheKeyVersioned(root, analyzers, detlintVersion)
+}
+
+// cacheKeyVersioned is CacheKey with the version pinned explicitly, so
+// the tests can prove a version bump invalidates every cached report.
+func cacheKeyVersioned(root string, analyzers []*Analyzer, version string) (string, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return "", err
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "version=%s\n", detlintVersion)
+	fmt.Fprintf(h, "version=%s\n", version)
 	names := make([]string, 0, len(analyzers))
 	for _, a := range analyzers {
 		names = append(names, a.Name)
@@ -69,7 +76,7 @@ func CacheKey(root string, analyzers []*Analyzer) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	for _, extra := range []string{"go.mod", "EXPERIMENTS.md"} {
+	for _, extra := range []string{"go.mod", "EXPERIMENTS.md", HotBudgetFileName} {
 		p := filepath.Join(root, extra)
 		if _, err := os.Stat(p); err == nil {
 			files = append(files, p)

@@ -1,0 +1,150 @@
+package lint
+
+// hotreport.go renders the hot-path allocation ranking behind
+// `cmd/detlint -hot -hotreport report.json`: every hot-reachable
+// function with static allocation sites, ranked by score — the sum
+// over its sites of 10^depth, times the number of hot roots that
+// reach it (the callgraph-multiplicity factor). The report
+// cross-references the newest committed BENCH_N.json so the static
+// ranking and the measured allocs/op sit side by side: the ROADMAP's
+// arena migration starts from this worklist, not from a profiler
+// session. The JSON is byte-stable on an unchanged tree — fields are
+// structs (fixed marshal order), functions sort by score then label,
+// and kind maps marshal with encoding/json's sorted keys.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// HotFunc is one ranked function of the hot report.
+type HotFunc struct {
+	// Function is the import-path-qualified function label (the
+	// .detlint.hot budget key).
+	Function string `json:"function"`
+	// File is the module-relative declaring file.
+	File string `json:"file"`
+	// Score is sum(10^depth over sites) × hot-root multiplicity.
+	Score int64 `json:"score"`
+	// Sites counts the recognized allocation sites.
+	Sites int `json:"sites"`
+	// MaxDepth is the deepest site's total loop depth.
+	MaxDepth int `json:"max_depth"`
+	// Roots is the hot-root multiplicity.
+	Roots int `json:"roots"`
+	// Kinds tallies sites per kind description.
+	Kinds map[string]int `json:"kinds"`
+}
+
+// BenchRef cross-references one measured benchmark's allocations.
+type BenchRef struct {
+	Source      string `json:"source"`
+	Name        string `json:"name"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// HotReport is the -hotreport document.
+type HotReport struct {
+	Version string `json:"version"`
+	// Functions ranks every hot function with sites, highest score
+	// first.
+	Functions []HotFunc `json:"functions"`
+	// Bench carries allocs/op from the newest BENCH_N.json, when one
+	// is committed, so static score and measured cost read together.
+	Bench []BenchRef `json:"bench,omitempty"`
+}
+
+// BuildHotReport computes the ranking over a loaded module.
+func BuildHotReport(m *Module) *HotReport {
+	h := m.hotPaths()
+	_, sites := hotAllocSites(m)
+	rep := &HotReport{Version: detlintVersion}
+	for _, n := range sortedSiteFuncs(sites) {
+		fn := HotFunc{
+			Function: budgetLabel(n),
+			Roots:    h.mult[n],
+			Kinds:    make(map[string]int),
+		}
+		pos := m.position(n.Decl)
+		if rel, err := filepath.Rel(m.Root, pos.Filename); err == nil {
+			fn.File = filepath.ToSlash(rel)
+		} else {
+			fn.File = pos.Filename
+		}
+		for _, s := range sites[n] {
+			fn.Sites++
+			fn.Score += hotWeight(s.depth)
+			fn.Kinds[s.kind]++
+			if s.depth > fn.MaxDepth {
+				fn.MaxDepth = s.depth
+			}
+		}
+		fn.Score *= int64(fn.Roots)
+		rep.Functions = append(rep.Functions, fn)
+	}
+	sort.SliceStable(rep.Functions, func(i, j int) bool {
+		if rep.Functions[i].Score != rep.Functions[j].Score {
+			return rep.Functions[i].Score > rep.Functions[j].Score
+		}
+		return rep.Functions[i].Function < rep.Functions[j].Function
+	})
+	rep.Bench = benchAllocRefs(m.Root)
+	return rep
+}
+
+// JSON renders the report as indented JSON with a trailing newline.
+func (r *HotReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// benchAllocRefs loads allocs/op from the newest BENCH_N.json at the
+// module root; no file or an unparsable file simply yields no refs.
+func benchAllocRefs(root string) []BenchRef {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil
+	}
+	newest, newestN := "", -1
+	for _, e := range entries {
+		m := benchFile.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n > newestN {
+			newest, newestN = e.Name(), n
+		}
+	}
+	if newest == "" {
+		return nil
+	}
+	data, err := os.ReadFile(filepath.Join(root, newest))
+	if err != nil {
+		return nil
+	}
+	var doc struct {
+		Benchmarks []struct {
+			Name        string `json:"name"`
+			AllocsPerOp int64  `json:"allocs_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil
+	}
+	var out []BenchRef
+	for _, b := range doc.Benchmarks {
+		if b.AllocsPerOp > 0 {
+			out = append(out, BenchRef{Source: newest, Name: b.Name, AllocsPerOp: b.AllocsPerOp})
+		}
+	}
+	return out
+}

@@ -103,7 +103,20 @@ func Analyzers() []*Analyzer {
 		AnalyzerInjectionPurity(),
 		AnalyzerLockOrder(),
 		AnalyzerDecisionFlow(),
+		AnalyzerHotAlloc(),
+		AnalyzerBoxing(),
+		AnalyzerArenaReady(),
 		AnalyzerAllowAudit(),
+	}
+}
+
+// HotAnalyzers returns the escape/hot-path rule subset behind
+// `cmd/detlint -hot` and the CI alloc-gate.
+func HotAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerHotAlloc(),
+		AnalyzerBoxing(),
+		AnalyzerArenaReady(),
 	}
 }
 
@@ -116,6 +129,9 @@ func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 		for _, a := range marks {
 			a.used = false
 		}
+	}
+	for _, b := range m.hotBudgets() {
+		b.used = false
 	}
 	selected := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {

@@ -49,6 +49,16 @@ type Module struct {
 
 	// cg caches the conservative callgraph across analyzers.
 	cg *CallGraph
+	// hot caches the loop-depth-weighted hot-path reachability
+	// (hotpath.go) across the hotalloc/boxing rules and the hot report.
+	hot *hotInfo
+	// esc caches the module-wide may-escape analysis (escape.go).
+	esc *escAnalysis
+	// budgets caches the parsed .detlint.hot allocation budgets
+	// (hotbudget.go); budgetsLoaded distinguishes "no file" from
+	// "not read yet".
+	budgets       []*hotBudget
+	budgetsLoaded bool
 }
 
 // allowMark is one parsed //detlint:allow comment.

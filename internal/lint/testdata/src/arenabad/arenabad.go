@@ -1,0 +1,28 @@
+// Package arenabad nominates types that violate the arena-readiness
+// contract in every recognized way: an interior string, a slice, a
+// map, a pointer, a non-flat nested struct, an encoder hatch without
+// a justification, and a non-struct nomination whose underlying type
+// cannot be flat.
+package arenabad
+
+// Node is nominated but riddled with interior pointers.
+//
+//detlint:arena
+type Node struct {
+	id   int32
+	name string
+	kids []int32
+	meta map[string]int
+	next *Node
+	sub  wrapped
+	//detlint:encoder
+	blob []byte
+}
+
+// wrapped hides a slice one level down.
+type wrapped struct{ data []byte }
+
+// Table is a non-struct nomination that cannot be flat.
+//
+//detlint:arena
+type Table map[string]int32

@@ -1,0 +1,26 @@
+// Package arenaok exercises the shapes the arenaready rule must
+// accept: flat scalars, fixed arrays, flat nested named structs, a
+// justified //detlint:encoder hatch for a deliberately interned
+// field, and non-nominated types that stay out of scope entirely.
+package arenaok
+
+// inner is flat all the way down.
+type inner struct{ a, b int16 }
+
+// Packed is nominated and arena-encodable.
+//
+//detlint:arena
+type Packed struct {
+	id    int32
+	flags [4]uint8
+	sub   inner
+	grid  [2][2]int64
+	//detlint:encoder interned via the state-table string index (DESIGN.md 7)
+	name string
+}
+
+// Loose is not nominated; its slices are nobody's business here.
+type Loose struct {
+	rows []string
+	refs map[int]*inner
+}

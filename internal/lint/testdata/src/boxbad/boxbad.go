@@ -1,0 +1,31 @@
+// Package boxbad seeds every interface-boxing shape the boxing rule
+// must flag on a hot path: a variadic any argument, an explicit
+// interface conversion, an interface-typed assignment, an
+// interface-keyed map index, and any-typed signature rows — all
+// inside a loop of an annotated hot function.
+package boxbad
+
+// record is a non-pointer value; boxing it copies it to the heap.
+type record struct{ a, b int64 }
+
+func observe(vs ...any) int { return len(vs) }
+
+var classes = map[any]int{}
+
+// Sweep drives the boxing shapes once per iteration.
+//
+//detlint:hot
+func Sweep(n int) int {
+	total := 0
+	var cur any
+	for i := 0; i < n; i++ {
+		r := record{a: int64(i), b: int64(n)}
+		total += observe(i)
+		cur = r
+		_ = cur
+		total += classes[r]
+		row := []any{i, r}
+		total += len(row)
+	}
+	return total
+}

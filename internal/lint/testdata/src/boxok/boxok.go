@@ -1,0 +1,33 @@
+// Package boxok exercises the conversion shapes the boxing rule must
+// NOT flag: pointer-shaped values riding the interface word for free,
+// constant operands the compiler boxes in static data, conversions
+// outside any hot loop, and boxing in functions no hot root reaches.
+package boxok
+
+type record struct{ a, b int64 }
+
+func observe(vs ...any) int { return len(vs) }
+
+// Sweep is hot, but nothing in its loop boxes a non-pointer value.
+//
+//detlint:hot
+func Sweep(n int) int {
+	total := 0
+	boxed := any("header") // depth 0: once per call
+	_ = boxed
+	for i := 0; i < n; i++ {
+		r := &record{a: int64(i)}
+		total += observe(r)   // pointer: no box allocation
+		total += observe("k") // constant: static box
+	}
+	return total
+}
+
+// Cold boxes freely: no hot root reaches it.
+func Cold(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += observe(i)
+	}
+	return total
+}

@@ -1,0 +1,47 @@
+// Package hotallocbad seeds every allocation-site kind the hotalloc
+// rule must flag on a hot path: make, new, append growth, an escaping
+// composite literal, string concatenation, and a fmt call — inside
+// loops reachable from the Explore hot root, directly and through a
+// helper only the callgraph connects, plus a //detlint:hot annotated
+// sweep driver.
+package hotallocbad
+
+import "fmt"
+
+// Node is the per-iteration record the helpers leak.
+type Node struct{ ID int }
+
+var sink []*Node
+
+// Explore is a hot root by name (the exhaustive-engine entrypoint
+// convention).
+func Explore(n int) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		seen := make(map[int]bool)
+		seen[i] = true
+		out = append(out, fmt.Sprint(i))
+		step(i)
+	}
+	return out
+}
+
+// step allocates at function depth 1: no loop of its own, but it runs
+// once per Explore iteration — only the callgraph connects the dots.
+func step(i int) {
+	n := &Node{ID: i}
+	p := new(Node)
+	p.ID = i
+	sink = append(sink, n, p)
+}
+
+// Sweep is hot by annotation, like the chaos seed sweeps.
+//
+//detlint:hot
+func Sweep(rounds int) string {
+	s := ""
+	for i := 0; i < rounds; i++ {
+		s += "x"
+	}
+	return s
+}

@@ -1,0 +1,31 @@
+// Package hotallocok exercises the allocation shapes hotalloc must
+// NOT flag: allocation hoisted above the loop, per-iteration composite
+// values the escape analysis proves frame-local (the compiler stack-
+// allocates them), and free allocation in functions no hot root
+// reaches.
+package hotallocok
+
+// point is a flat per-iteration value.
+type point struct{ x, y int }
+
+// Explore is hot, but every per-iteration value stays in the frame:
+// the buffer is made once at depth 0 and filled by index.
+func Explore(n int) int {
+	buf := make([]int, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		p := point{x: i, y: i}
+		buf[i] = p.x + p.y
+		total += buf[i]
+	}
+	return total
+}
+
+// Cold allocates per iteration, legitimately: no hot root reaches it.
+func Cold(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -3,7 +3,6 @@ package modelcheck
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"detobj/internal/par"
 	"detobj/internal/sim"
@@ -32,9 +31,95 @@ func stepFinite(s Finite, inv sim.Invocation) (Finite, string) {
 	next := s.CloneObject().(Finite)
 	resp := next.Apply(&sim.Env{}, inv)
 	if resp.Effect == sim.Hang {
-		return s, "<hang>"
+		return s, hangToken
 	}
-	return next, fmt.Sprint(resp.Value)
+	return next, renderValue(resp.Value)
+}
+
+// transition is one cell of the precomputed step table: the successor
+// state and the interned output token of applying one alphabet operation
+// in one reachable state. It is deliberately flat — two int32 indices,
+// no interior pointers — because it is the seed of the ROADMAP's arena
+// encoding for the state-space engines; detlint's arenaready rule
+// machine-checks that flatness on every build.
+//
+//detlint:arena
+type transition struct {
+	// succ indexes the sorted state list.
+	succ int32
+	// out indexes the interned output-token list.
+	out int32
+}
+
+// stateTable is the transition system of a reachable state space,
+// precomputed once: states in sorted-key order, rows[i][j] the result of
+// alphabet[j] in state i, outputs interned into outs. Every downstream
+// analysis — partition refinement and the Lemma 38 pair sweep — runs on
+// these int32 indices instead of re-cloning objects and re-rendering
+// outputs per visit, which is what held E6 at ~1M allocs per run.
+type stateTable struct {
+	keys     []string
+	states   []Finite
+	alphabet []sim.Invocation
+	rows     [][]transition
+	outs     []string
+	// hang is the interned index of hangToken, or -1 if no operation
+	// hangs anywhere in the table.
+	hang int32
+}
+
+// buildTable precomputes the transition table over the reachable states.
+// Rows are stepped on the worker pool; interning runs sequentially in
+// (state, alphabet) order, so the table — like every report built from
+// it — is byte-identical for any worker count.
+func buildTable(states map[string]Finite, alphabet []sim.Invocation, workers int) *stateTable {
+	keys := make([]string, 0, len(states))
+	for k := range states {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	index := make(map[string]int32, len(keys))
+	for i, k := range keys {
+		index[k] = int32(i)
+	}
+	type cell struct{ key, out string }
+	cells := make([][]cell, len(keys))
+	_ = par.ForEach(len(keys), workers, func(i int) error {
+		s := states[keys[i]]
+		row := make([]cell, len(alphabet))
+		for j, inv := range alphabet {
+			succ, out := stepFinite(s, inv)
+			row[j] = cell{key: succ.StateKey(), out: out}
+		}
+		cells[i] = row
+		return nil
+	})
+	t := &stateTable{
+		keys:     keys,
+		states:   make([]Finite, len(keys)),
+		alphabet: alphabet,
+		rows:     make([][]transition, len(keys)),
+		hang:     -1,
+	}
+	interned := make(map[string]int32)
+	for i, k := range keys {
+		t.states[i] = states[k]
+		row := make([]transition, len(alphabet))
+		for j, c := range cells[i] {
+			id, ok := interned[c.out]
+			if !ok {
+				id = int32(len(t.outs))
+				interned[c.out] = id
+				t.outs = append(t.outs, c.out)
+				if c.out == hangToken {
+					t.hang = id
+				}
+			}
+			row[j] = transition{succ: index[c.key], out: id}
+		}
+		t.rows[i] = row
+	}
+	return t
 }
 
 // Reachable returns all states reachable from init by applying operations
@@ -94,63 +179,60 @@ func reachableN(init Finite, alphabet []sim.Invocation, maxStates, workers int) 
 // objects are deterministic, observational equivalence and bisimilarity
 // coincide.
 func ObsClasses(states map[string]Finite, alphabet []sim.Invocation) map[string]int {
-	return obsClassesN(states, alphabet, 1)
+	t := buildTable(states, alphabet, 1)
+	class := t.obsClasses()
+	out := make(map[string]int, len(t.keys))
+	for i, k := range t.keys {
+		out[k] = int(class[i])
+	}
+	return out
 }
 
-// obsClassesN is the partition refinement behind ObsClasses, with each
-// refinement round's signature strings computed on the worker pool (the
-// class map is read-only during a round). Class ids are assigned
-// sequentially in sorted-key order, first-seen, exactly as the
-// sequential computation assigns them.
-func obsClassesN(states map[string]Finite, alphabet []sim.Invocation, workers int) map[string]int {
-	keys := make([]string, 0, len(states))
-	for k := range states {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-
-	class := make(map[string]int, len(keys))
-	for _, k := range keys {
-		class[k] = 0
-	}
+// obsClasses is the partition refinement over the precomputed table.
+// A round renders each state's signature — the (output, successor-class)
+// row across the alphabet — as packed int32 bytes into one reused
+// buffer; class ids are assigned first-seen in sorted-key order, exactly
+// as the string-signature refinement assigned them, so the resulting
+// partition (and every report built on it) is unchanged. The rounds are
+// pure integer work over the table, so they run sequentially: the
+// parallel engine already paid its fan-out when the table was built.
+func (t *stateTable) obsClasses() []int32 {
+	n := len(t.keys)
+	class := make([]int32, n)
+	next := make([]int32, n)
+	var buf []byte
 	for {
-		sigRows := make([]string, len(keys))
-		_ = par.ForEach(len(keys), workers, func(i int) error {
-			var b strings.Builder
-			for _, inv := range alphabet {
-				succ, out := stepFinite(states[keys[i]], inv)
-				fmt.Fprintf(&b, "%s>%d|", out, class[succ.StateKey()])
+		sigs := make(map[string]int32, n)
+		for i := 0; i < n; i++ {
+			buf = buf[:0]
+			for _, tr := range t.rows[i] {
+				buf = appendInt32(buf, tr.out)
+				buf = appendInt32(buf, class[tr.succ])
 			}
-			sigRows[i] = b.String()
-			return nil
-		})
-		sigs := make(map[string]int)
-		next := make(map[string]int, len(keys))
-		for i, k := range keys {
-			id, ok := sigs[sigRows[i]]
+			id, ok := sigs[string(buf)]
 			if !ok {
-				id = len(sigs)
-				sigs[sigRows[i]] = id
+				id = int32(len(sigs))
+				sigs[string(buf)] = id
 			}
-			next[k] = id
+			next[i] = id
 		}
-		if sameClasses(class, next, keys) {
+		same := true
+		for i := range class {
+			if class[i] != next[i] {
+				same = false
+				break
+			}
+		}
+		if same {
 			return next
 		}
-		class = next
+		class, next = next, class
 	}
 }
 
-func sameClasses(a, b map[string]int, keys []string) bool {
-	// Classes are equal iff the partitions coincide; since ids are
-	// assigned in first-seen order over the same sorted keys, equality of
-	// the maps suffices.
-	for _, k := range keys {
-		if a[k] != b[k] {
-			return false
-		}
-	}
-	return true
+// appendInt32 appends v's four little-endian bytes.
+func appendInt32(b []byte, v int32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
 
 // PairFailure records a violation of the Lemma 38 obligations: a reachable
@@ -215,46 +297,41 @@ func CheckIndistinguishability(init Finite, alphabet []sim.Invocation, maxStates
 
 // CheckIndistinguishabilityParallel is CheckIndistinguishability across
 // a worker pool (<= 0 workers means GOMAXPROCS): reachability rounds,
-// refinement rounds and the per-state pair analysis all fan out, and
-// every result list is concatenated in sorted-state-key order, so the
-// report is byte-identical to the sequential checker's.
+// the transition-table build and the per-state pair analysis all fan
+// out, and every result list is concatenated in sorted-state-key order,
+// so the report is byte-identical to the sequential checker's.
 func CheckIndistinguishabilityParallel(init Finite, alphabet []sim.Invocation, maxStates, workers int) (*IndistReport, error) {
 	return checkIndistN(init, alphabet, maxStates, par.Normalize(workers, -1))
 }
 
 // checkIndistN runs the Lemma 38 case analysis with each state's pair
-// loop on the worker pool. Per-state failure lists land in an indexed
-// slot and are concatenated in sorted-key order, matching the
+// loop on the worker pool. The reachable space is precomputed into a
+// transition table once, so the per-pair verdicts are index lookups
+// rather than four object clones; per-state failure lists land in an
+// indexed slot and are concatenated in sorted-key order, matching the
 // sequential append order.
 func checkIndistN(init Finite, alphabet []sim.Invocation, maxStates, workers int) (*IndistReport, error) {
 	states, err := reachableN(init, alphabet, maxStates, workers)
 	if err != nil {
 		return nil, err
 	}
-	class := obsClassesN(states, alphabet, workers)
-	cls := func(s Finite) int { return class[s.StateKey()] }
-
-	keys := make([]string, 0, len(states))
-	for k := range states {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	t := buildTable(states, alphabet, workers)
+	class := t.obsClasses()
 
 	type chunk struct {
 		failures, degenerate []PairFailure
 	}
-	chunks := make([]chunk, len(keys))
-	_ = par.ForEach(len(keys), workers, func(i int) error {
-		s := states[keys[i]]
+	chunks := make([]chunk, len(t.keys))
+	_ = par.ForEach(len(t.keys), workers, func(i int) error {
 		var c chunk
-		for _, a := range alphabet {
-			for _, b := range alphabet {
-				va := classify(s, a, b, cls)
-				vb := classify(s, b, a, cls)
+		for ai, a := range alphabet {
+			for bi, b := range alphabet {
+				va := t.classify(class, int32(i), ai, bi)
+				vb := t.classify(class, int32(i), bi, ai)
 				if va == pairIndist || vb == pairIndist {
 					continue // some issuer cannot distinguish: obligation met
 				}
-				f := PairFailure{State: keys[i], A: a, B: b}
+				f := PairFailure{State: t.keys[i], A: a, B: b}
 				if va == pairDistinguish || vb == pairDistinguish {
 					c.failures = append(c.failures, f)
 				} else {
@@ -266,7 +343,7 @@ func checkIndistN(init Finite, alphabet []sim.Invocation, maxStates, workers int
 		return nil
 	})
 
-	rep := &IndistReport{States: len(states), Pairs: len(keys) * len(alphabet) * len(alphabet)}
+	rep := &IndistReport{States: len(t.keys), Pairs: len(t.keys) * len(alphabet) * len(alphabet)}
 	for _, c := range chunks {
 		rep.Failures = append(rep.Failures, c.failures...)
 		rep.Degenerate = append(rep.Degenerate, c.degenerate...)
@@ -291,11 +368,38 @@ const (
 
 const hangToken = "<hang>"
 
-// classify judges how the process issuing a experiences the order of a and
-// b from state s. Indistinguishable means: same response either with b's
-// step absorbed (overwriting, S·a ≡ S·b·a) or with both steps applied
-// (commuting, S·a·b ≡ S·b·a).
-func classify(s Finite, a, b sim.Invocation, cls func(Finite) int) pairVerdict {
+// classify judges how the process issuing alphabet[a] experiences the
+// order of a and b from state s, entirely through table lookups.
+// Indistinguishable means: same response either with b's step absorbed
+// (overwriting, S·a ≡ S·b·a) or with both steps applied (commuting,
+// S·a·b ≡ S·b·a). Interned output ids compare exactly as the rendered
+// strings did, and class indexes the same partition ObsClasses computes.
+func (t *stateTable) classify(class []int32, s int32, a, b int) pairVerdict {
+	ta := t.rows[s][a]        // S·a: a's response and successor
+	tb := t.rows[s][b]        // S·b: b's successor (a hang stays at S)
+	tba := t.rows[tb.succ][a] // S·b·a: a's response after b
+	if ta.out == t.hang || tba.out == t.hang {
+		return pairDegenerate
+	}
+	if ta.out != tba.out {
+		return pairDistinguish
+	}
+	if class[ta.succ] == class[tba.succ] {
+		return pairIndist // overwriting: b's step is invisible to a's issuer
+	}
+	sab := t.rows[ta.succ][b].succ
+	if class[sab] == class[tba.succ] {
+		return pairIndist // commuting
+	}
+	return pairDistinguish
+}
+
+// classifyStep is the table-free variant of classify for objects whose
+// state space cannot be enumerated (unbounded growth): it re-steps the
+// object per verdict. Distinguishing verdicts depend only on the
+// issuer's outputs plus the supplied equivalence, so callers with
+// unbounded spaces pass a conservative cls (e.g. state identity).
+func classifyStep(s Finite, a, b sim.Invocation, cls func(Finite) int) pairVerdict {
 	sa, outA := stepFinite(s, a)
 	sb, _ := stepFinite(s, b)
 	sba, outAafterB := stepFinite(sb, a)

@@ -225,13 +225,13 @@ func TestIndistCommon2Fail(t *testing.T) {
 	// Queue seeded with one token: two racing dequeuers each see
 	// different results depending on order — both survive, both observe.
 	deq := sim.Invocation{Op: "deq"}
-	if got := classify(consensus.NewQueue("tok", "t2"), deq, deq, keyCls()); got != pairDistinguish {
+	if got := classifyStep(consensus.NewQueue("tok", "t2"), deq, deq, keyCls()); got != pairDistinguish {
 		t.Errorf("queue deq/deq race = %v, want distinguishing (consensus number 2)", got)
 	}
 
 	// fetch&add: two racing adders read different previous values.
 	fad := sim.Invocation{Op: "fad", Args: []sim.Value{1}}
-	if got := classify(consensus.NewFetchAdd(0), fad, fad, keyCls()); got != pairDistinguish {
+	if got := classifyStep(consensus.NewFetchAdd(0), fad, fad, keyCls()); got != pairDistinguish {
 		t.Errorf("fetch&add race = %v, want distinguishing (consensus number 2)", got)
 	}
 }

@@ -68,7 +68,7 @@ func decisionValues(res *sim.Result) map[string]bool {
 	vals := make(map[string]bool)
 	for i, st := range res.Status {
 		if st == sim.StatusDone {
-			vals[fmt.Sprint(res.Outputs[i])] = true
+			vals[renderValue(res.Outputs[i])] = true
 		}
 	}
 	return vals
