@@ -70,9 +70,11 @@ experiments:
 
 # Sweep seeds through the chaos harness on both substrates (see README
 # "Robustness & chaos testing"); failures print the reproducing seed.
+# The crash-restart soak hammers the recoverable WRN with every restart
+# adversary stack and audits the exactly-once journal per seed.
 chaos:
 	$(GO) run -race ./cmd/chaos -seeds 25
-	$(GO) test -race -run 'TestSoakChaosAdversaries|TestSoakBoundedNeverHangs' .
+	$(GO) test -race -run 'TestSoakChaosAdversaries|TestSoakBoundedNeverHangs|TestSoakCrashRestartRecoverable' .
 
 # Short fuzzing passes over the property targets.
 fuzz:

@@ -10,6 +10,7 @@ import (
 	"detobj/internal/iterated"
 	"detobj/internal/linearize"
 	"detobj/internal/modelcheck"
+	"detobj/internal/recoverable"
 	"detobj/internal/renaming"
 	"detobj/internal/safeagreement"
 	"detobj/internal/setconsensus"
@@ -62,6 +63,30 @@ func NewFixedSchedule(order ...int) Scheduler { return sim.NewFixed(order...) }
 func NewCrashingScheduler(inner Scheduler, crashed ...int) Scheduler {
 	return sim.NewCrashing(inner, crashed...)
 }
+
+// Amnesiac crash-restart fault model (see internal/sim/fault.go).
+type (
+	// Fault is one injected fault directive.
+	Fault = sim.Fault
+	// FaultKind names a fault directive's effect.
+	FaultKind = sim.FaultKind
+	// FaultInjector is the optional scheduler interface that injects
+	// crash and restart directives into a run.
+	FaultInjector = sim.FaultInjector
+	// RecoverableObject is a shared object that splits its state into
+	// durable and volatile halves; the volatile half is wiped when its
+	// owner crashes.
+	RecoverableObject = sim.Recoverable
+	// RecoveryProc is the per-process recovery step the runtime runs
+	// before a restarted incarnation resumes its program.
+	RecoveryProc = sim.RecoveryProc
+)
+
+// Fault directive kinds.
+const (
+	FaultCrash   = sim.FaultCrash
+	FaultRestart = sim.FaultRestart
+)
 
 // WRN objects (paper §3).
 type (
@@ -396,6 +421,56 @@ func NewCrashDuringOp(inner Scheduler, r *ChaosReport, victim, depth int) Schedu
 // later.
 func NewCrashRecovery(inner Scheduler, r *ChaosReport, victim, crashAt, window int) Scheduler {
 	return chaos.NewCrashRecovery(inner, r, victim, crashAt, window)
+}
+
+// NewCrashRestart returns the single-crash amnesiac-restart adversary:
+// victim crashes at step crashAt, losing all volatile state, and re-runs
+// its program from the top (behind Config.Recovery) window steps later.
+func NewCrashRestart(inner Scheduler, r *ChaosReport, victim, crashAt, window int) Scheduler {
+	return chaos.NewCrashRestart(inner, r, victim, crashAt, window)
+}
+
+// NewRepeatedCrashRestart returns the repeated amnesiac-restart
+// adversary: victim is crashed after every depth of its own steps,
+// restarted window steps later, times crashes in total.
+func NewRepeatedCrashRestart(inner Scheduler, r *ChaosReport, victim, depth, window, times int) Scheduler {
+	return chaos.NewRepeatedCrashRestart(inner, r, victim, depth, window, times)
+}
+
+// NewAdaptiveRestart returns the seeded, history-driven amnesiac
+// adversary: it arms crashes as operations open and fires them
+// mid-operation, up to maxCrashes in total, always restarting victims.
+func NewAdaptiveRestart(inner Scheduler, r *ChaosReport, seed int64, maxCrashes int) Scheduler {
+	return chaos.NewAdaptiveRestart(inner, r, seed, maxCrashes)
+}
+
+// Recoverable objects for the amnesiac crash-restart model (see
+// internal/recoverable and experiments E19/E20).
+
+// NewRecoverableRegister returns the recoverable register: writes stage
+// in a volatile per-process buffer and survive a crash only once
+// explicitly persisted.
+func NewRecoverableRegister(initial Value) Object { return recoverable.NewRegister(initial) }
+
+// NewRecoverableTestAndSet returns the recoverable test-and-set: the
+// winner's identity is durable and "tas" is idempotent per process, so a
+// restarted winner re-learns its win.
+func NewRecoverableTestAndSet() Object { return recoverable.NewTestAndSet() }
+
+// NewVolatileScratch returns an all-volatile per-process scratchpad;
+// algorithm code routes volatile local state through one so crashes wipe
+// it deterministically.
+func NewVolatileScratch() Object { return recoverable.NewScratch() }
+
+// RecoverableWRN is the journaled recoverable WRN_k handle.
+type RecoverableWRN = recoverable.WRN
+
+// NewRecoverableWRN registers a recoverable WRN_k (durable journaled
+// core plus volatile response cache) and returns its handle; its
+// Recovery method yields the RecoveryProc that re-derives the cache from
+// the journal.
+func NewRecoverableWRN(objects map[string]Object, name string, k int) RecoverableWRN {
+	return recoverable.NewWRN(objects, name, k)
 }
 
 // NewStall returns the adversary that starves victim during scheduler

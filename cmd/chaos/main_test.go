@@ -14,6 +14,8 @@ func TestRunSweep(t *testing.T) {
 	for _, want := range []string{
 		"crash-during-op", "crash-recovery", "stall", "adaptive", "composed",
 		"native seed 0 ok",
+		"crash-restart", "repeated-restart", "adaptive-restart",
+		"control: plain WRN broken",
 		"5 seeds swept clean",
 	} {
 		if !strings.Contains(out, want) {

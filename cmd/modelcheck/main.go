@@ -1,17 +1,21 @@
 // Command modelcheck runs the exhaustive verification experiments: the
 // mechanized Lemma 38 indistinguishability analysis over the object zoo
-// (E6) and the valency analysis of the 2-consensus protocols (E11).
+// (E6), the valency analysis of the 2-consensus protocols (E11), and
+// the recoverable-consensus calibration under amnesiac crash-restart
+// (E20).
 //
-// Every row carries its expected verdict (the paper's classification);
-// the driver exits non-zero when any computed verdict diverges, so a
-// regression in the engines or the objects cannot print a plausible
-// table and still report success. Both engines fan out across -parallel
-// workers (default GOMAXPROCS) with output byte-identical to the
-// sequential engines.
+// Every row carries its expected verdict (the paper's classification,
+// extended by Ovens 2024 for the restart rows); the driver exits
+// non-zero when any computed verdict diverges, so a regression in the
+// engines or the objects cannot print a plausible table and still
+// report success. The E6/E11 engines fan out across -parallel workers
+// (default GOMAXPROCS) with output byte-identical to the sequential
+// engines; E20's adversarial sweeps are sequential but each sweep point
+// is an exhaustive deterministic tree of its own.
 //
 // Usage:
 //
-//	modelcheck [-exp e6|e11|all] [-parallel P]
+//	modelcheck [-exp e6|e11|e20|all] [-parallel P]
 package main
 
 import (
@@ -20,16 +24,18 @@ import (
 	"io"
 	"os"
 
+	"detobj/internal/chaos"
 	"detobj/internal/consensus"
 	"detobj/internal/modelcheck"
 	"detobj/internal/par"
+	"detobj/internal/recoverable"
 	"detobj/internal/registers"
 	"detobj/internal/sim"
 	"detobj/internal/wrn"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e6, e11 or all")
+	exp := flag.String("exp", "all", "experiment to run: e6, e11, e20 or all")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the engines (0 = GOMAXPROCS)")
 	flag.Parse()
 	if err := run(os.Stdout, *exp, *parallel); err != nil {
@@ -51,6 +57,12 @@ func run(w io.Writer, exp string, workers int) error {
 		matched = true
 		if err := expE11(w, workers); err != nil {
 			return fmt.Errorf("e11: %w", err)
+		}
+	}
+	if exp == "all" || exp == "e20" {
+		matched = true
+		if err := expE20(w, workers); err != nil {
+			return fmt.Errorf("e20: %w", err)
 		}
 	}
 	if !matched {
@@ -183,4 +195,98 @@ func expE11(w io.Writer, workers int) error {
 		return fmt.Errorf("%d protocol(s) contradict the paper's classification", wrong)
 	}
 	return nil
+}
+
+// expE20: recoverable-consensus calibration. Each object's restart-aware
+// 2-consensus protocol (durable proposal/decision registers around the
+// racing object) is analyzed twice: once under the plain valency engine
+// — the full-persistence model, where a recovering process resumes with
+// every bit of its state, so verdicts coincide with the asynchronous
+// ones of E11 — and once under an exhaustive amnesiac crash-restart
+// sweep, where chaos.NewCrashRestart wipes the victim's volatile state
+// and re-runs it from the top at every (victim, crashAt, window) point.
+// Per Ovens 2024, the plain objects lose their consensus power to the
+// amnesiac restart (the winner forgets it won, or a re-applied WRN step
+// reads its rival's later write) while the recoverable implementations
+// retain it; any row contradicting that calibration exits non-zero.
+func expE20(w io.Writer, workers int) error {
+	fmt.Fprintln(w, "E20 Recoverable consensus: amnesiac restarts strip plain objects of their power (Ovens 2024)")
+	fmt.Fprintln(w, "    full-persist = plain valency analysis (recovery resumes with all state, as in E11)")
+	fmt.Fprintln(w, "    amnesiac     = exhaustive valency under CrashRestart sweeps of victim x crashAt x window")
+	fmt.Fprintln(w, "object             full-persist  amnesiac   sweeps  configs   executions  verdict")
+
+	type row struct {
+		name  string
+		build func(map[string]sim.Object, string, sim.Value, sim.Value) []sim.Program
+		// wantAmnesiac: recoverable implementations keep agreement under
+		// amnesiac restart; plain ones must exhibit a disagreement.
+		wantAmnesiac bool
+	}
+	rows := []row{
+		{"plain TAS", recoverable.TwoConsFromPlainTAS, false},
+		{"recoverable TAS", recoverable.TwoConsFromRecTAS, true},
+		{"plain WRN_2", recoverable.TwoConsFromPlainWRN2, false},
+		{"recoverable WRN_2", recoverable.TwoConsFromRecWRN2, true},
+	}
+	victims := []int{0, 1}
+	crashAts := []int{0, 1, 2, 3, 4, 5, 6}
+	windows := []int{0, 3}
+	wrong := 0
+	for _, r := range rows {
+		f := func() sim.Config {
+			objects := map[string]sim.Object{}
+			progs := r.build(objects, "X", 10, 20)
+			return sim.Config{Objects: objects, Programs: progs}
+		}
+		full, err := modelcheck.AnalyzeValencyParallel(f, 0, workers)
+		if err != nil {
+			return fmt.Errorf("%s full-persistence: %w", r.name, err)
+		}
+		sweeps, configs, executions, disagreeing := 0, full.Configs, full.Executions, 0
+		//detlint:hot the E20 sweep is the calibration's hot loop: one exhaustive valency tree per (victim, crashAt, window) point
+		for _, victim := range victims {
+			for _, crashAt := range crashAts {
+				for _, window := range windows {
+					victim, crashAt, window := victim, crashAt, window
+					rep, err := modelcheck.AnalyzeValencyUnder(f, func(inner sim.Scheduler) sim.Scheduler {
+						return chaos.NewCrashRestart(inner, chaos.NewReport(0), victim, crashAt, window)
+					}, 0)
+					if err != nil {
+						return fmt.Errorf("%s amnesiac victim=%d crashAt=%d window=%d: %w",
+							r.name, victim, crashAt, window, err)
+					}
+					sweeps++
+					configs += rep.Configs
+					executions += rep.Executions
+					if !rep.Agreement {
+						disagreeing++
+					}
+				}
+			}
+		}
+		fullCol, amnesiacCol := verdictWord(full.Agreement), verdictWord(disagreeing == 0)
+		verdict := "power retained"
+		if !r.wantAmnesiac {
+			verdict = "consensus power lost to the restart"
+		}
+		if full.Agreement != true || (disagreeing == 0) != r.wantAmnesiac {
+			verdict += "  ** UNEXPECTED **"
+			wrong++
+		}
+		fmt.Fprintf(w, "%-18s %-13s %-10s %-7d %-9d %-11d %s\n",
+			r.name, fullCol, amnesiacCol, sweeps, configs, executions, verdict)
+	}
+	fmt.Fprintln(w)
+	if wrong > 0 {
+		return fmt.Errorf("%d object(s) contradict the Ovens 2024 calibration", wrong)
+	}
+	return nil
+}
+
+// verdictWord renders an agreement bit as the E20 column word.
+func verdictWord(agree bool) string {
+	if agree {
+		return "agree"
+	}
+	return "disagree"
 }

@@ -3,18 +3,42 @@ package chaos
 // Simulator-side adversaries. Each is a sim.Scheduler that wraps an
 // inner scheduler (nil defaults to round-robin), perturbs which enabled
 // process advances, and records every fault into a shared Report. All
-// of them implement sim.Observer and forward observations inward, so
-// stacks compose: Instrument(NewStall(NewCrashDuringOp(...), ...), r).
+// of them implement sim.Observer and forward observations inward, and
+// forward sim.FaultInjector consultations inward the same way, so
+// stacks compose: Instrument(NewStall(NewCrashRestart(...), ...), r).
 //
-// Crash semantics follow the paper's crash-failure adversary: a crashed
-// process simply never takes another step. Its partial writes stay
-// visible, its pending invocation ends the run as StatusStopped, and no
-// other process can distinguish the crash from slowness. Recovery (the
-// crash-recovery adversary) models full-persistence recovery: the
-// process re-enters with its id and local state intact and resumes from
-// its pending invocation — the strongest recovery model of the
-// recoverable-consensus literature, and the one a lockstep simulator
-// can replay exactly.
+// The package distinguishes three crash models, in increasing recovery
+// strength:
+//
+//   - Crash-stop (CrashDuringOp here; sim.Crashing for the plain
+//     variant): the paper's crash-failure adversary. A crashed process
+//     simply never takes another step; its partial writes stay visible,
+//     its pending invocation ends the run as StatusStopped, and no other
+//     process can distinguish the crash from slowness.
+//
+//   - Amnesiac crash-restart (CrashRestart, RepeatedCrashRestart and
+//     AdaptiveRestart, in restart.go): the individual-crash-restart
+//     model of the recoverable-objects literature. The victim loses all
+//     volatile state — program locals, its in-flight invocation, the
+//     volatile half of sim.Recoverable objects — and re-enters from the
+//     top of its program behind sim.Config.Recovery. These adversaries
+//     issue real sim.Fault directives through the sim.FaultInjector
+//     interface; the runtime applies them between steps and records them
+//     in the trace, so crash-restart schedules replay exactly.
+//
+//   - Full-persistence recovery (CrashRecovery): the victim re-enters
+//     with its id and entire local state intact and resumes from its
+//     pending invocation — the strongest recovery model in the
+//     recoverable-consensus literature. Because nothing is lost, a
+//     crashed-and-recovered process is indistinguishable from a merely
+//     slow one, which is why this adversary needs no fault directives:
+//     it is expressible purely as a scheduling delay.
+//
+// The full-persistence and amnesiac models bracket the recoverable-
+// consensus-number question (Ovens 2024, PAPERS.md): an object keeps its
+// full-persistence power by construction, while its power under amnesiac
+// restart depends on which half of its implementation state is durable —
+// E20 (cmd/modelcheck) calibrates exactly this gap.
 
 import (
 	"fmt"
@@ -36,6 +60,17 @@ func forwardObserve(s sim.Scheduler, e sim.Event) {
 	if o, ok := s.(sim.Observer); ok {
 		o.Observe(e)
 	}
+}
+
+// forwardFaults passes the fault consultation to s if it injects. Every
+// wrapper adversary delegates through here so that a fault-issuing layer
+// (restart.go) keeps its sim.FaultInjector channel when wrapped by
+// Instrument, Stall or another adversary.
+func forwardFaults(s sim.Scheduler, v sim.View) []sim.Fault {
+	if fi, ok := s.(sim.FaultInjector); ok {
+		return fi.Faults(v)
+	}
+	return nil
 }
 
 // withhold narrows a view to the processes not in dead and asks inner
@@ -81,6 +116,9 @@ func NewCrashDuringOp(inner sim.Scheduler, r *Report, victim, depth int) *CrashD
 	return &CrashDuringOp{victim: victim, depth: depth, inner: innerOf(inner), report: r}
 }
 
+// Faults implements sim.FaultInjector by delegation.
+func (c *CrashDuringOp) Faults(v sim.View) []sim.Fault { return forwardFaults(c.inner, v) }
+
 // Observe implements sim.Observer: it tracks the victim's operation
 // structure and arms the crash once the victim is Depth steps deep.
 func (c *CrashDuringOp) Observe(e sim.Event) {
@@ -124,6 +162,15 @@ func (c *CrashDuringOp) Next(v sim.View) int {
 // re-enter, with its id and full local state, after a recovery window.
 // Between crash and recovery the process takes no steps; afterwards it
 // resumes from its pending invocation.
+//
+// This is the *full-persistence* recovery model: every register of the
+// crashed process — program counter, locals, the invocation it was about
+// to issue — survives the crash, so recovery is pure scheduling (a
+// withheld window) and no state is rebuilt. Contrast CrashRestart
+// (restart.go), the *amnesiac* model, where the victim loses all
+// volatile state and re-runs its program from the top behind a recovery
+// procedure. An algorithm correct under CrashRecovery may still lose
+// power under CrashRestart; E20 measures that gap.
 type CrashRecovery struct {
 	victim    int
 	crashAt   int // global step at which the crash fires
@@ -142,6 +189,9 @@ func NewCrashRecovery(inner sim.Scheduler, r *Report, victim, crashAt, window in
 
 // Observe implements sim.Observer.
 func (c *CrashRecovery) Observe(e sim.Event) { forwardObserve(c.inner, e) }
+
+// Faults implements sim.FaultInjector by delegation.
+func (c *CrashRecovery) Faults(v sim.View) []sim.Fault { return forwardFaults(c.inner, v) }
 
 // Next implements sim.Scheduler.
 func (c *CrashRecovery) Next(v sim.View) int {
@@ -194,6 +244,9 @@ func NewStall(inner sim.Scheduler, r *Report, victim, from, window int) *Stall {
 
 // Observe implements sim.Observer.
 func (s *Stall) Observe(e sim.Event) { forwardObserve(s.inner, e) }
+
+// Faults implements sim.FaultInjector by delegation.
+func (s *Stall) Faults(v sim.View) []sim.Fault { return forwardFaults(s.inner, v) }
 
 // Next implements sim.Scheduler.
 func (s *Stall) Next(v sim.View) int {
@@ -315,3 +368,6 @@ func (in *instrumented) Observe(e sim.Event) {
 
 // Next implements sim.Scheduler.
 func (in *instrumented) Next(v sim.View) int { return in.inner.Next(v) }
+
+// Faults implements sim.FaultInjector by delegation.
+func (in *instrumented) Faults(v sim.View) []sim.Fault { return forwardFaults(in.inner, v) }

@@ -8,11 +8,14 @@
 // The package plugs into both execution substrates:
 //
 //   - In the simulator (internal/sim) it provides composable adversary
-//     schedulers — crash-during-operation, crash-recovery, step-stall
+//     schedulers — crash-during-operation, full-persistence
+//     crash-recovery, amnesiac crash-restart (single, repeated and
+//     adaptive, issuing real sim.Fault directives), step-stall
 //     starvation and an adaptive, history-driven adversary — that wrap
 //     any inner scheduler and stay fully deterministic: a (seed,
 //     configuration) pair identifies one execution, replay-verified by
-//     sim.Config.VerifyReplay.
+//     sim.Config.VerifyReplay. See adversary.go for the three crash
+//     models and how they differ.
 //
 //   - In package native it provides a seeded Injector whose
 //     yield/stall/abort decisions at each chaos point are a pure
@@ -20,9 +23,11 @@
 //     reproduces from its seed even though goroutine interleaving does
 //     not.
 //
-// Every chaos run records into a Report — crash and recovery counts,
-// the longest stall, a per-process step histogram and the full
+// Every chaos run records into a Report — crash, recovery and restart
+// counts, the longest stall, a per-process step histogram and the full
 // injected-fault log — so a failure reproduces from a single seed.
+// Recoveries() counts full-persistence re-entries, Restarts() counts
+// amnesiac re-entries; the two are never conflated.
 package chaos
 
 import (
@@ -40,7 +45,9 @@ type Injection struct {
 	Proc int
 	// Site is the native chaos-point name; empty for simulator faults.
 	Site string
-	// Kind names the fault: "crash", "recover", "stall", "yield", "abort".
+	// Kind names the fault: "crash", "recover" (full-persistence
+	// re-entry), "restart" (amnesiac re-entry), "stall", "yield",
+	// "abort".
 	Kind string
 	// Note carries fault-specific detail (e.g. a stall window).
 	Note string
@@ -70,8 +77,10 @@ type Report struct {
 	Seed int64
 
 	mu sync.Mutex
-	// crashes and recoveries count the respective injected faults.
-	crashes, recoveries int
+	// crashes, recoveries and restarts count the respective injected
+	// faults; recoveries are full-persistence re-entries, restarts are
+	// amnesiac re-entries.
+	crashes, recoveries, restarts int
 	// maxStall is the longest observed consecutive starvation of an
 	// enabled process, in scheduler steps.
 	maxStall int
@@ -96,6 +105,8 @@ func (r *Report) record(i Injection) {
 		r.crashes++
 	case "recover":
 		r.recoveries++
+	case "restart":
+		r.restarts++
 	}
 	r.injections = append(r.injections, i)
 }
@@ -132,11 +143,22 @@ func (r *Report) Crashes() int {
 	return r.crashes
 }
 
-// Recoveries returns the number of injected recoveries.
+// Recoveries returns the number of injected full-persistence recoveries
+// (the victim re-entered with its local state intact; see
+// CrashRecovery).
 func (r *Report) Recoveries() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.recoveries
+}
+
+// Restarts returns the number of injected amnesiac restarts (the victim
+// lost its volatile state and re-ran from the top; see CrashRestart).
+// Distinct from Recoveries.
+func (r *Report) Restarts() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.restarts
 }
 
 // MaxStall returns the longest observed consecutive starvation, in
@@ -172,7 +194,7 @@ func (r *Report) String() string {
 	defer r.mu.Unlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "chaos report (seed %d)\n", r.Seed)
-	fmt.Fprintf(&b, "  crashes: %d  recoveries: %d  max stall: %d\n", r.crashes, r.recoveries, r.maxStall)
+	fmt.Fprintf(&b, "  crashes: %d  recoveries: %d  restarts: %d  max stall: %d\n", r.crashes, r.recoveries, r.restarts, r.maxStall)
 	fmt.Fprintf(&b, "  steps/proc: %v\n", r.stepHist)
 	fmt.Fprintf(&b, "  injections: %d\n", len(r.injections))
 	for _, i := range r.injections {

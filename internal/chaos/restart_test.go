@@ -1,0 +1,167 @@
+package chaos
+
+import (
+	"testing"
+
+	"detobj/internal/sim"
+)
+
+// volatileCounter is a sim.Recoverable test object: "inc" stages one
+// pending increment in a volatile per-process slot, "commit" folds it
+// into the durable count, "read" returns the durable count. A crash
+// loses whatever the victim staged but not what it committed.
+type volatileCounter struct {
+	durable int
+	staged  map[int]int
+}
+
+func (c *volatileCounter) Apply(env *sim.Env, inv sim.Invocation) sim.Response {
+	switch inv.Op {
+	case "inc":
+		if c.staged == nil {
+			c.staged = make(map[int]int)
+		}
+		c.staged[env.Proc]++
+		return sim.Respond(nil)
+	case "commit":
+		c.durable += c.staged[env.Proc]
+		delete(c.staged, env.Proc)
+		return sim.Respond(c.durable)
+	case "read":
+		return sim.Respond(c.durable)
+	}
+	return sim.HangCaller()
+}
+
+func (c *volatileCounter) OnCrash(proc int) { delete(c.staged, proc) }
+
+// incCommitRead drives the volatile counter: stage incs, commit, read.
+func incCommitRead(incs int) sim.Program {
+	return func(ctx *sim.Ctx) sim.Value {
+		ctx.BeginOp("W", "incs")
+		for i := 0; i < incs; i++ {
+			ctx.Invoke("C", "inc")
+		}
+		ctx.Invoke("C", "commit")
+		v := ctx.Invoke("C", "read")
+		ctx.EndOp("W", "incs", v)
+		return v
+	}
+}
+
+// restartRun executes n counter processes under the given adversary stack
+// with replay verification on.
+func restartRun(t *testing.T, n int, sched sim.Scheduler) *sim.Result {
+	t.Helper()
+	progs := make([]sim.Program, n)
+	for i := range progs {
+		progs[i] = incCommitRead(3)
+	}
+	res, err := sim.Run(sim.Config{
+		Objects:      map[string]sim.Object{"C": &volatileCounter{}},
+		Programs:     progs,
+		Scheduler:    sched,
+		MaxSteps:     1 << 16,
+		VerifyReplay: true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestCrashRestartAmnesiacSingle(t *testing.T) {
+	r := NewReport(1)
+	res := restartRun(t, 3, NewCrashRestart(sim.NewRoundRobin(), r, 1, 4, 6))
+	if !res.AllDone() {
+		t.Fatalf("statuses = %v, want all done (restart must arrive)", res.Status)
+	}
+	if r.Crashes() != 1 || r.Restarts() != 1 || r.Recoveries() != 0 {
+		t.Fatalf("crashes=%d restarts=%d recoveries=%d, want 1/1/0", r.Crashes(), r.Restarts(), r.Recoveries())
+	}
+	if res.Restarts[1] != 1 {
+		t.Fatalf("sim restarts = %v, want process 1 restarted once", res.Restarts)
+	}
+	// The trace must carry the wiped invocation and the incarnation.
+	sawCrash, sawRestart := false, false
+	for _, e := range res.Trace.Events {
+		switch e.Kind {
+		case sim.EventCrash:
+			sawCrash = true
+			if e.Proc != 1 {
+				t.Errorf("crash event for P%d, want P1", e.Proc)
+			}
+		case sim.EventRestart:
+			sawRestart = true
+		}
+	}
+	if !sawCrash || !sawRestart {
+		t.Fatalf("trace missing crash/restart events:\n%s", res.Trace)
+	}
+}
+
+func TestCrashRestartVictimAlreadyDone(t *testing.T) {
+	// crashAt far beyond the run: the victim finishes first and the
+	// adversary must never fire an inapplicable directive.
+	r := NewReport(1)
+	res := restartRun(t, 2, NewCrashRestart(sim.NewRoundRobin(), r, 0, 1<<12, 4))
+	if !res.AllDone() {
+		t.Fatalf("statuses = %v, want all done", res.Status)
+	}
+	if r.Crashes() != 0 || r.Restarts() != 0 {
+		t.Fatalf("crashes=%d restarts=%d, want 0/0", r.Crashes(), r.Restarts())
+	}
+}
+
+func TestRepeatedCrashRestartExhaustsBudget(t *testing.T) {
+	r := NewReport(1)
+	res := restartRun(t, 3, NewRepeatedCrashRestart(sim.NewRoundRobin(), r, 0, 2, 3, 3))
+	if !res.AllDone() {
+		t.Fatalf("statuses = %v, want all done after the crash budget drains", res.Status)
+	}
+	if r.Crashes() != 3 || r.Restarts() != 3 {
+		t.Fatalf("crashes=%d restarts=%d, want 3/3", r.Crashes(), r.Restarts())
+	}
+	if res.Restarts[0] != 3 {
+		t.Fatalf("sim restarts = %v, want process 0 restarted three times", res.Restarts)
+	}
+}
+
+func TestAdaptiveRestartDeterministicAndBalanced(t *testing.T) {
+	run := func() (*sim.Result, *Report) {
+		r := NewReport(9)
+		res := restartRun(t, 4, NewAdaptiveRestart(sim.NewRandom(9), r, 9, 3))
+		return res, r
+	}
+	res1, r1 := run()
+	res2, r2 := run()
+	if got, want := res1.Trace.String(), res2.Trace.String(); got != want {
+		t.Fatalf("adaptive restart trace not reproducible:\n--- first\n%s--- second\n%s", want, got)
+	}
+	if r1.String() != r2.String() {
+		t.Fatalf("adaptive restart report not reproducible:\n%s\nvs\n%s", r1, r2)
+	}
+	if !res1.AllDone() {
+		t.Fatalf("statuses = %v, want all done (every crash restarted)", res1.Status)
+	}
+	if r1.Crashes() != r1.Restarts() {
+		t.Fatalf("crashes=%d restarts=%d, want equal (no stranded process)", r1.Crashes(), r1.Restarts())
+	}
+}
+
+func TestRestartComposesWithWrappers(t *testing.T) {
+	// The FaultInjector channel must survive wrapping: Instrument and
+	// Stall delegate Faults inward to the restart layer.
+	r := NewReport(3)
+	stack := Instrument(NewStall(NewCrashRestart(sim.NewRandom(3), r, 2, 3, 4), r, 0, 2, 3), r)
+	res := restartRun(t, 3, stack)
+	if !res.AllDone() {
+		t.Fatalf("statuses = %v, want all done", res.Status)
+	}
+	if r.Crashes() != 1 || r.Restarts() != 1 {
+		t.Fatalf("crashes=%d restarts=%d, want 1/1 through the wrapper stack", r.Crashes(), r.Restarts())
+	}
+	if hist := r.StepHist(); len(hist) == 0 {
+		t.Fatalf("instrumented histogram empty; Observe not forwarded")
+	}
+}

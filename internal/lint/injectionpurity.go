@@ -5,14 +5,16 @@ package lint
 // fault *plan* of a seeded injector is not — the fault ordered at the
 // nth visit of a chaos point must be a pure function of (seed, site,
 // visit). The rule finds every chaos decision function — anything
-// returning native.Fault, which is how decisions are spelled (the
-// Injector interface's At, the seeded decide, plan enumerators) — and
-// walks its transitive module callees rejecting every construct whose
-// result depends on anything else: wall clocks, the global rand source,
-// runtime introspection, the environment, channel traffic, goroutine
-// spawns. Executing a fault (chaosPoint's Gosched loops) is deliberately
-// impure and deliberately out of scope: execution returns error, not
-// Fault.
+// returning native.Fault or sim.Fault, which is how decisions are
+// spelled (the Injector interface's At, the seeded decide, plan
+// enumerators, and the simulator adversaries' FaultInjector.Faults
+// methods) — and walks its transitive module callees rejecting every
+// construct whose result depends on anything else: wall clocks, the
+// global rand source, runtime introspection, the environment, channel
+// traffic, goroutine spawns. Executing a fault (chaosPoint's Gosched
+// loops, the simulator runtime's crash/restart application) is
+// deliberately impure and deliberately out of scope: execution returns
+// error, not Fault.
 
 import (
 	"fmt"
@@ -34,14 +36,15 @@ func AnalyzerInjectionPurity() *Analyzer {
 
 func runInjectionPurity(m *Module) []Diagnostic {
 	g := m.CallGraph()
-	faultPath := m.Path + "/native"
+	faultPaths := []string{m.Path + "/native", m.Path + "/internal/sim"}
 
 	var roots []*FuncNode
 	for _, n := range g.sortedNodes() {
-		if !m.InScope(n.Pkg, "internal/chaos", "native") && !m.isFixture(n.Pkg, "injectok", "injectbad") {
+		if !m.InScope(n.Pkg, "internal/chaos", "native") &&
+			!m.isFixture(n.Pkg, "injectok", "injectbad", "restartok", "restartbad") {
 			continue
 		}
-		if returnsFault(n.Fn, faultPath) {
+		if returnsFault(n.Fn, faultPaths...) {
 			roots = append(roots, n)
 		}
 	}
@@ -75,9 +78,10 @@ func runInjectionPurity(m *Module) []Diagnostic {
 	return out
 }
 
-// returnsFault reports whether the function's results include
-// native.Fault, directly or as a slice/array element (fault plans).
-func returnsFault(fn *types.Func, faultPath string) bool {
+// returnsFault reports whether the function's results include a Fault
+// type of one of the given packages (native.Fault or sim.Fault),
+// directly or as a slice/array element (fault plans, directive batches).
+func returnsFault(fn *types.Func, faultPaths ...string) bool {
 	res := fn.Type().(*types.Signature).Results()
 	for i := 0; i < res.Len(); i++ {
 		t := res.At(i).Type()
@@ -87,9 +91,14 @@ func returnsFault(fn *types.Func, faultPath string) bool {
 		case *types.Array:
 			t = u.Elem()
 		}
-		if n := namedBase(t); n != nil && n.Obj().Name() == "Fault" &&
-			n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == faultPath {
-			return true
+		n := namedBase(t)
+		if n == nil || n.Obj().Name() != "Fault" || n.Obj().Pkg() == nil {
+			continue
+		}
+		for _, path := range faultPaths {
+			if n.Obj().Pkg().Path() == path {
+				return true
+			}
 		}
 	}
 	return false

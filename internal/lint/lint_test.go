@@ -35,6 +35,8 @@ func loadFixtures(t *testing.T) []Diagnostic {
 			"detobj/internal/lintfixture/sharedok":    "testdata/src/sharedok",
 			"detobj/internal/lintfixture/injectbad":   "testdata/src/injectbad",
 			"detobj/internal/lintfixture/injectok":    "testdata/src/injectok",
+			"detobj/internal/lintfixture/restartbad":  "testdata/src/restartbad",
+			"detobj/internal/lintfixture/restartok":   "testdata/src/restartok",
 			"detobj/internal/lintfixture/lockbad":     "testdata/src/lockbad",
 			"detobj/internal/lintfixture/lockok":      "testdata/src/lockok",
 			"detobj/internal/lintfixture/flowbad":     "testdata/src/flowbad",
@@ -107,6 +109,11 @@ func TestFixturesFlagSeededViolations(t *testing.T) {
 		{"injectbad", "injectionpurity", "runtime.NumGoroutine"},
 		{"injectbad", "injectionpurity", "channel receive"},
 		{"injectbad", "injectionpurity", "select statement"},
+		{"restartbad", "injectionpurity", "time.Now"},
+		{"restartbad", "injectionpurity", "rand.Intn"},
+		{"restartbad", "injectionpurity", "channel receive"},
+		{"restartbad", "injectionpurity", "in restartbad.(Adversary).fromChan"},
+		{"restartbad", "schedulecoverage", "only under the default round-robin schedule"},
 		{"lockbad", "lockorder", "lock-order cycle among"},
 		{"lockbad", "lockorder", "acquired in lockbad.(Cell).Again while already held"},
 		{"lockbad", "lockorder", "field m of lockbad.Pair is guarded by"},
@@ -153,7 +160,7 @@ func TestFixturesFlagSeededViolations(t *testing.T) {
 
 func TestFixturesAcceptSafeIdioms(t *testing.T) {
 	diags := loadFixtures(t)
-	for _, clean := range []string{"nodetok", "purityok", "hangok", "schedok", "boundedok", "sharedok", "injectok", "lockok", "flowok", "auditok", "hotallocok", "boxok", "arenaok"} {
+	for _, clean := range []string{"nodetok", "purityok", "hangok", "schedok", "boundedok", "sharedok", "injectok", "restartok", "lockok", "flowok", "auditok", "hotallocok", "boxok", "arenaok"} {
 		for _, d := range inFile(diags, clean) {
 			t.Errorf("unexpected finding in clean fixture %s: %s", clean, d)
 		}

@@ -38,20 +38,23 @@ func AnalyzerScheduleCoverage() *Analyzer {
 // non-default schedulers, their facade spellings, the chaos adversaries,
 // and exhaustive exploration.
 var diverseSchedulers = map[string]bool{
-	"NewRandom":            true,
-	"NewFixed":             true,
-	"NewCrashing":          true,
-	"NewRandomScheduler":   true,
-	"NewFixedSchedule":     true,
-	"NewCrashingScheduler": true,
-	"NewCrashDuringOp":     true,
-	"NewCrashRecovery":     true,
-	"NewStall":             true,
-	"NewAdaptive":          true,
-	"NewAdaptiveAdversary": true,
-	"Instrument":           true,
-	"InstrumentScheduler":  true,
-	"Explore":              true,
+	"NewRandom":               true,
+	"NewFixed":                true,
+	"NewCrashing":             true,
+	"NewRandomScheduler":      true,
+	"NewFixedSchedule":        true,
+	"NewCrashingScheduler":    true,
+	"NewCrashDuringOp":        true,
+	"NewCrashRecovery":        true,
+	"NewCrashRestart":         true,
+	"NewRepeatedCrashRestart": true,
+	"NewAdaptiveRestart":      true,
+	"NewStall":                true,
+	"NewAdaptive":             true,
+	"NewAdaptiveAdversary":    true,
+	"Instrument":              true,
+	"InstrumentScheduler":     true,
+	"Explore":                 true,
 }
 
 func runScheduleCoverage(m *Module) []Diagnostic {

@@ -1,0 +1,17 @@
+package restartbad
+
+import (
+	"testing"
+
+	"detobj/internal/sim"
+)
+
+// TestOnlyRoundRobin drives sim.Run without any schedule diversity —
+// under a restart adversary this is exactly the gap schedulecoverage
+// flags: every crash-restart interleaving but the friendliest one goes
+// untested.
+func TestOnlyRoundRobin(t *testing.T) {
+	if _, err := sim.Run(sim.Config{Scheduler: sim.NewRoundRobin()}); err != nil {
+		t.Fatal(err)
+	}
+}

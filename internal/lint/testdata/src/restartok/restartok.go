@@ -1,0 +1,48 @@
+// Package restartok is a crash-restart adversary whose fault directives
+// are pure functions of the observed history and a seeded source — the
+// shape the injectionpurity rule must accept for sim.Fault-returning
+// decision functions: instance-seeded randomness, counters, and view
+// inspection, nothing reading clocks, global randomness, the runtime,
+// or channels.
+package restartok
+
+import (
+	"math/rand"
+
+	"detobj/internal/sim"
+)
+
+// Adversary crashes a victim once at a seeded step and restarts it.
+type Adversary struct {
+	rng       *rand.Rand
+	victim    int
+	crashAt   int
+	crashed   bool
+	restarted bool
+	out       [1]sim.Fault // reused directive buffer: Faults stays allocation-free
+}
+
+// New returns the seeded restart adversary.
+func New(seed int64, victim int) *Adversary {
+	rng := rand.New(rand.NewSource(seed))
+	return &Adversary{rng: rng, victim: victim, crashAt: rng.Intn(8)}
+}
+
+// Next implements sim.Scheduler.
+func (a *Adversary) Next(v sim.View) int { return v.Enabled[0] }
+
+// Faults implements sim.FaultInjector purely: directives derive from the
+// view, the seeded source, and recorded state alone.
+func (a *Adversary) Faults(v sim.View) []sim.Fault {
+	if !a.crashed && v.Step >= a.crashAt && v.EnabledSet(a.victim) {
+		a.crashed = true
+		a.out[0].Proc, a.out[0].Kind = a.victim, sim.FaultCrash
+		return a.out[:1]
+	}
+	if a.crashed && !a.restarted && v.CrashedSet(a.victim) && a.rng.Intn(2) == 0 {
+		a.restarted = true
+		a.out[0].Proc, a.out[0].Kind = a.victim, sim.FaultRestart
+		return a.out[:1]
+	}
+	return nil
+}

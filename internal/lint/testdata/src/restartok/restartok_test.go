@@ -1,0 +1,20 @@
+package restartok
+
+import (
+	"testing"
+
+	"detobj/internal/chaos"
+	"detobj/internal/sim"
+)
+
+// TestSweepsRestartSchedules drives sim.Run under the crash-restart
+// adversary family — exactly the diversity schedulecoverage demands.
+func TestSweepsRestartSchedules(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		r := chaos.NewReport(seed)
+		sched := chaos.NewCrashRestart(sim.NewRandom(seed), r, 0, 2, 3)
+		if _, err := sim.Run(sim.Config{Scheduler: sched}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

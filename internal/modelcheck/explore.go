@@ -142,8 +142,21 @@ func appendStep(prefix []int, v int) []int {
 // runScripted replays the configuration under a fixed schedule and choice
 // script, stopping when the schedule is exhausted.
 func runScripted(f Factory, sched, choices []int) (*sim.Result, error) {
+	return runScriptedUnder(f, nil, sched, choices)
+}
+
+// runScriptedUnder is runScripted with an adversary layer interposed:
+// wrap (when non-nil) receives the fixed replay scheduler and returns
+// the scheduler the run actually uses, letting a chaos fault injector
+// ride the scripted schedule. wrap runs once per call, so stateful
+// adversaries start fresh for every replayed prefix.
+func runScriptedUnder(f Factory, wrap func(inner sim.Scheduler) sim.Scheduler, sched, choices []int) (*sim.Result, error) {
 	cfg := f()
-	cfg.Scheduler = &sim.Fixed{Order: sched}
+	var s sim.Scheduler = &sim.Fixed{Order: sched}
+	if wrap != nil {
+		s = wrap(s)
+	}
+	cfg.Scheduler = s
 	cfg.Choice = &scriptSource{script: choices}
 	return sim.Run(cfg)
 }

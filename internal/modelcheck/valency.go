@@ -80,12 +80,15 @@ func errNondetValency(err error) error {
 	return fmt.Errorf("modelcheck: valency analysis requires deterministic objects: %w", err)
 }
 
-// valencyHooks are the two extension points the parallel engine needs:
-// gate runs at every configuration (abort checks), counted after every
-// complete execution (budget enforcement). Either may be nil.
+// valencyHooks are the extension points the parallel and adversarial
+// engines need: gate runs at every configuration (abort checks),
+// counted after every complete execution (budget enforcement), and wrap
+// interposes a scheduler layer — typically a chaos fault injector —
+// around the scripted replay. Any may be nil.
 type valencyHooks struct {
 	gate    func() error
 	counted func() error
+	wrap    func(inner sim.Scheduler) sim.Scheduler
 }
 
 // valencyRec returns the set of decision values reachable from the
@@ -99,7 +102,7 @@ func valencyRec(f Factory, sched []int, acc *valencyAcc, hooks valencyHooks) (ma
 			return nil, err
 		}
 	}
-	res, err := runScripted(f, sched, nil)
+	res, err := runScriptedUnder(f, hooks.wrap, sched, nil)
 	if err != nil {
 		var demand choiceDemand
 		if asDemand(err, &demand) {
@@ -161,6 +164,47 @@ func AnalyzeValency(f Factory, limit int) (*ValencyReport, error) {
 		}
 		return nil
 	}})
+	if err != nil {
+		return nil, err
+	}
+	return acc.report(), nil
+}
+
+// AnalyzeValencyUnder is AnalyzeValency with an adversary interposed
+// between the engine's scripted schedules and the simulator: wrap
+// receives the sim.Fixed replay scheduler for one schedule prefix and
+// returns the scheduler the run actually uses — typically a chaos
+// crash-restart adversary delegating Next to the inner replay while
+// injecting sim.Fault directives of its own. wrap is invoked once per
+// explored configuration with a fresh inner scheduler, so a stateful
+// adversary must be constructed inside wrap (not closed over): every
+// configuration then replays its prefix under identical fault
+// decisions, which keeps the execution tree well-defined. A nil wrap
+// degenerates to AnalyzeValency — the full-persistence baseline, since
+// without fault directives a crash-recovery pause keeps all state.
+//
+// The report reads as usual, but over the faulty tree: Agreement is
+// false exactly when some schedule prefix plus the adversary's
+// deterministic faults drives the protocol's deciders to different
+// values. This is the engine behind the E20 calibration: an object
+// whose protocol agrees under nil wrap but disagrees under an amnesiac
+// crash-restart wrap has lost consensus power to the restart (Ovens
+// 2024), while a recoverable implementation keeps Agreement true under
+// both.
+func AnalyzeValencyUnder(f Factory, wrap func(inner sim.Scheduler) sim.Scheduler, limit int) (*ValencyReport, error) {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	acc := newValencyAcc()
+	_, err := valencyRec(f, nil, acc, valencyHooks{
+		wrap: wrap,
+		counted: func() error {
+			if acc.executions > limit {
+				return errLimitExceeded(limit)
+			}
+			return nil
+		},
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,251 @@
+package recoverable_test
+
+import (
+	"fmt"
+	"testing"
+
+	"detobj/internal/chaos"
+	"detobj/internal/recoverable"
+	"detobj/internal/registers"
+	"detobj/internal/sim"
+	"detobj/internal/wrn"
+)
+
+// run executes the configuration with the package's standard test
+// settings: a generous step budget and replay verification on.
+func run(t *testing.T, cfg sim.Config) *sim.Result {
+	t.Helper()
+	cfg.MaxSteps = 1 << 16
+	cfg.VerifyReplay = true
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// TestRegisterStagedWriteLostOnCrash: a write staged but not persisted
+// vanishes at a crash; the same program without the crash persists it.
+func TestRegisterStagedWriteLostOnCrash(t *testing.T) {
+	build := func() (sim.Config, registers.Ref) {
+		objects := map[string]sim.Object{"R": recoverable.NewRegister(nil)}
+		reg := recoverable.RegisterRef{Name: "R"}
+		prog := func(ctx *sim.Ctx) sim.Value {
+			if ctx.Incarnation() == 0 {
+				reg.Write(ctx, "ghost")
+				reg.Read(ctx)
+				reg.Read(ctx)
+			}
+			return reg.Persist(ctx)
+		}
+		return sim.Config{Objects: objects, Programs: []sim.Program{prog}}, registers.Ref{}
+	}
+
+	cfg, _ := build()
+	cfg.Scheduler = sim.NewRoundRobin()
+	if res := run(t, cfg); res.Outputs[0] != "ghost" {
+		t.Fatalf("control run persisted %v, want ghost", res.Outputs[0])
+	}
+
+	cfg, _ = build()
+	r := chaos.NewReport(1)
+	cfg.Scheduler = chaos.NewCrashRestart(sim.NewRoundRobin(), r, 0, 2, 3)
+	res := run(t, cfg)
+	if r.Crashes() != 1 || r.Restarts() != 1 {
+		t.Fatalf("crashes=%d restarts=%d, want 1/1", r.Crashes(), r.Restarts())
+	}
+	if res.Outputs[0] != nil {
+		t.Fatalf("crashed run persisted %v, want nil (staged write must be lost)", res.Outputs[0])
+	}
+}
+
+// tasProbe is the shared shape of the idempotence contrast: race, then
+// two padding steps that give the adversary a crash window, then report
+// the race's answer (re-run from the top after a restart).
+func tasProbe(tas func(ctx *sim.Ctx) int, pad registers.Ref) sim.Program {
+	return func(ctx *sim.Ctx) sim.Value {
+		r := tas(ctx)
+		pad.Read(ctx)
+		pad.Read(ctx)
+		return r
+	}
+}
+
+// TestTASIdempotentAcrossIncarnations: the recoverable test-and-set
+// re-answers 0 to a restarted winner; the plain one misreports it as a
+// loser. Identical programs and schedule, only the object differs.
+func TestTASIdempotentAcrossIncarnations(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rec  bool
+		want int // restarted winner's final answer
+	}{
+		{"recoverable", true, 0},
+		{"plain", false, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			objects := map[string]sim.Object{"pad": registers.New(nil)}
+			var race func(ctx *sim.Ctx) int
+			if tc.rec {
+				objects["T"] = recoverable.NewTestAndSet()
+				ref := recoverable.TASRef{Name: "T"}
+				race = ref.TAS
+			} else {
+				objects["T"] = plainTAS()
+				race = func(ctx *sim.Ctx) int { return ctx.Invoke("T", "tas").(int) }
+			}
+			pad := registers.Ref{Name: "pad"}
+			r := chaos.NewReport(1)
+			// P0 wins, crashes mid-padding, P1 races and loses, P0 re-runs.
+			sched := chaos.NewCrashRestart(
+				&sim.Fixed{Order: []int{0, 0}, Fallback: sim.NewRoundRobin()}, r, 0, 2, 50)
+			res := run(t, sim.Config{
+				Objects:   objects,
+				Programs:  []sim.Program{tasProbe(race, pad), tasProbe(race, pad)},
+				Scheduler: sched,
+			})
+			if r.Crashes() != 1 {
+				t.Fatalf("crashes = %d, want 1", r.Crashes())
+			}
+			if got := res.Outputs[0]; got != tc.want {
+				t.Fatalf("restarted winner's answer = %v, want %d", got, tc.want)
+			}
+			if got := res.Outputs[1]; got != 1 {
+				t.Fatalf("second process's answer = %v, want 1 (it lost the race)", got)
+			}
+		})
+	}
+}
+
+// plainTAS is the crash-stop test-and-set, inlined to keep the contrast
+// self-contained: once set it answers 1 to everyone, the winner
+// included.
+func plainTAS() sim.Object { return &flagTAS{} }
+
+type flagTAS struct{ set bool }
+
+func (f *flagTAS) Apply(_ *sim.Env, inv sim.Invocation) sim.Response {
+	if inv.Op != "tas" {
+		panic(fmt.Sprintf("unknown op %q", inv.Op))
+	}
+	if f.set {
+		return sim.Respond(1)
+	}
+	f.set = true
+	return sim.Respond(0)
+}
+
+// TestWRNExactlyOnceUnderRepeatedCrashes: a recoverable WRN operation
+// mutates the durable cells exactly once no matter how many times its
+// process is crashed and restarted — including crashes that land inside
+// the recovery procedure itself.
+func TestWRNExactlyOnceUnderRepeatedCrashes(t *testing.T) {
+	objects := map[string]sim.Object{"pad": registers.New(nil)}
+	w := recoverable.NewWRN(objects, "W", 2)
+	pad := registers.Ref{Name: "pad"}
+	mk := func(id int) sim.Program {
+		return func(ctx *sim.Ctx) sim.Value {
+			r := w.WRN(ctx, id, id, id+1)
+			pad.Read(ctx)
+			pad.Read(ctx)
+			return r
+		}
+	}
+	rep := chaos.NewReport(1)
+	res := run(t, sim.Config{
+		Objects:   objects,
+		Programs:  []sim.Program{mk(0), mk(1)},
+		Scheduler: chaos.NewRepeatedCrashRestart(sim.NewRoundRobin(), rep, 0, 2, 2, 2),
+		Recovery:  w.Recovery(func(proc int) int { return proc }),
+	})
+	if !res.AllDone() {
+		t.Fatalf("statuses = %v, want all done", res.Status)
+	}
+	if rep.Crashes() != 2 || rep.Restarts() != 2 {
+		t.Fatalf("crashes=%d restarts=%d, want 2/2", rep.Crashes(), rep.Restarts())
+	}
+	for opid := 0; opid < 2; opid++ {
+		if n := w.Core().ApplyCount(opid); n != 1 {
+			t.Errorf("operation %d applied %d times, want exactly once", opid, n)
+		}
+	}
+	// The victim's durable apply step must appear exactly once in the
+	// trace: later incarnations are served by the cache or the journal.
+	applies := 0
+	for _, e := range res.Trace.Events {
+		if e.Kind == sim.EventStep && e.Proc == 0 && e.Object == "W.core" && e.Op == "apply" {
+			applies++
+		}
+	}
+	if applies != 1 {
+		t.Errorf("victim took %d core apply steps, want 1", applies)
+	}
+	// Outputs must form one of the two legal WRN_2 linearizations.
+	got := fmt.Sprint(res.Outputs[0], res.Outputs[1])
+	first := fmt.Sprint(wrn.Bottom, 1)  // P0's apply linearized first
+	second := fmt.Sprint(2, wrn.Bottom) // P1's apply linearized first
+	if got != first && got != second {
+		t.Errorf("outputs %s match no WRN_2 linearization (%s or %s)", got, first, second)
+	}
+}
+
+// protocolBuilder is the common signature of the four E20 builders.
+type protocolBuilder func(objects map[string]sim.Object, name string, v0, v1 sim.Value) []sim.Program
+
+// runProtocol executes one 2-consensus protocol with process 0 running
+// solo until a crash at step crashAt, the survivor then running to
+// completion, and the victim restarting last.
+func runProtocol(t *testing.T, build protocolBuilder, crashAt int) (*sim.Result, *chaos.Report) {
+	t.Helper()
+	objects := map[string]sim.Object{}
+	progs := build(objects, "c", "a", "b")
+	r := chaos.NewReport(int64(crashAt))
+	sched := chaos.NewCrashRestart(
+		&sim.Fixed{Order: []int{0, 0, 0, 0, 0, 0}, Fallback: sim.NewRoundRobin()},
+		r, 0, crashAt, 50)
+	res := run(t, sim.Config{Objects: objects, Programs: progs, Scheduler: sched})
+	if !res.AllDone() {
+		t.Fatalf("crashAt %d: statuses = %v, want all done", crashAt, res.Status)
+	}
+	return res, r
+}
+
+// TestProtocolsPlainDisagreeRecoverableAgree is E20 in miniature: under
+// a crash-at-every-point sweep of the same schedule shape, the plain
+// test-and-set and WRN_2 protocols each have a crash point that produces
+// disagreement, while their recoverable counterparts agree at every
+// crash point. The protocol shape is identical; only the racing object
+// differs.
+func TestProtocolsPlainDisagreeRecoverableAgree(t *testing.T) {
+	sweep := func(t *testing.T, build protocolBuilder) (disagreements, crashes int) {
+		for crashAt := 0; crashAt <= 8; crashAt++ {
+			res, r := runProtocol(t, build, crashAt)
+			crashes += r.Crashes()
+			if res.Outputs[0] != res.Outputs[1] {
+				disagreements++
+			}
+		}
+		return disagreements, crashes
+	}
+	for _, tc := range []struct {
+		name  string
+		plain protocolBuilder
+		rec   protocolBuilder
+	}{
+		{"tas", recoverable.TwoConsFromPlainTAS, recoverable.TwoConsFromRecTAS},
+		{"wrn2", recoverable.TwoConsFromPlainWRN2, recoverable.TwoConsFromRecWRN2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if d, _ := sweep(t, tc.plain); d == 0 {
+				t.Errorf("plain %s protocol agreed at every crash point; expected a disagreement", tc.name)
+			}
+			d, c := sweep(t, tc.rec)
+			if d != 0 {
+				t.Errorf("recoverable %s protocol disagreed at %d crash points, want 0", tc.name, d)
+			}
+			if c == 0 {
+				t.Errorf("recoverable %s sweep never crashed; the agreement check is vacuous", tc.name)
+			}
+		})
+	}
+}

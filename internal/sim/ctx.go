@@ -6,12 +6,19 @@ package sim
 // checker.
 type Ctx struct {
 	id  int
+	inc int
 	msg chan<- message
 	res <-chan resume
 }
 
 // ID returns the process id (its index in Config.Programs).
 func (c *Ctx) ID() int { return c.id }
+
+// Incarnation returns how many times this process has been crash-restarted:
+// 0 for the initial execution, k for the k-th restart. Recovery procedures
+// and restart-aware programs use it to tell a re-execution from a first
+// run; everything else may ignore it.
+func (c *Ctx) Incarnation() int { return c.inc }
 
 // Invoke applies one atomic operation to the named shared object and
 // returns its result. The call blocks until the scheduler grants the

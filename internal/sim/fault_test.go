@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// testDurableCell is a Recoverable register: a durable value plus a volatile
+// per-process staging slot ("stage" buffers, "flush" commits durably). It
+// also keeps a durable log of values passed to "note", which recovery
+// procedures in these tests use to report what they observed.
+type testDurableCell struct {
+	durable Value
+	staged  map[int]Value
+	notes   []Value
+}
+
+func (c *testDurableCell) Apply(env *Env, inv Invocation) Response {
+	switch inv.Op {
+	case "stage":
+		if c.staged == nil {
+			c.staged = make(map[int]Value)
+		}
+		c.staged[env.Proc] = inv.Arg(0)
+		return Respond(nil)
+	case "flush":
+		if v, ok := c.staged[env.Proc]; ok {
+			c.durable = v
+			delete(c.staged, env.Proc)
+		}
+		return Respond(c.durable)
+	case "read":
+		return Respond(c.durable)
+	case "peek":
+		return Respond(c.staged[env.Proc])
+	case "note":
+		c.notes = append(c.notes, inv.Arg(0))
+		return Respond(nil)
+	}
+	return HangCaller()
+}
+
+func (c *testDurableCell) OnCrash(proc int) { delete(c.staged, proc) }
+
+// scriptInjector crashes victim once crashAt is reached and restarts it
+// window steps later (or immediately once no other process is enabled);
+// noRestart crashes without ever restarting.
+type scriptInjector struct {
+	inner     Scheduler
+	victim    int
+	crashAt   int
+	window    int
+	noRestart bool
+
+	crashed   bool
+	restarted bool
+	crashStep int
+}
+
+func (s *scriptInjector) Next(v View) int { return s.inner.Next(v) }
+
+func (s *scriptInjector) Faults(v View) []Fault {
+	if !s.crashed && v.Step >= s.crashAt && v.EnabledSet(s.victim) {
+		s.crashed = true
+		s.crashStep = v.Step
+		return []Fault{{Proc: s.victim, Kind: FaultCrash}}
+	}
+	if s.crashed && !s.restarted && !s.noRestart && v.CrashedSet(s.victim) &&
+		(v.Step >= s.crashStep+s.window || len(v.Enabled) == 0) {
+		s.restarted = true
+		return []Fault{{Proc: s.victim, Kind: FaultRestart}}
+	}
+	return nil
+}
+
+func stageFlushRead(v int) Program {
+	return func(ctx *Ctx) Value {
+		ctx.Invoke("C", "stage", v)
+		ctx.Invoke("C", "flush")
+		return ctx.Invoke("C", "read")
+	}
+}
+
+func TestCrashWipesVolatileStateAndRecoveryRuns(t *testing.T) {
+	cell := &testDurableCell{}
+	cfg := Config{
+		Objects:  map[string]Object{"C": cell},
+		Programs: []Program{stageFlushRead(42)},
+		// After "stage" applies (step 0) the pending "flush" is wiped by
+		// the crash at step 1; the lone-process truncation restarts
+		// immediately.
+		Scheduler: &scriptInjector{inner: NewRoundRobin(), victim: 0, crashAt: 1, window: 100},
+		Recovery: func(ctx *Ctx) {
+			ctx.Invoke("C", "note", ctx.Invoke("C", "peek"))
+		},
+		VerifyReplay: true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.AllDone() {
+		t.Fatalf("statuses = %v, want all done", res.Status)
+	}
+	if res.Outputs[0] != 42 {
+		t.Errorf("output = %v, want 42 (program re-ran after restart)", res.Outputs[0])
+	}
+	if !reflect.DeepEqual(res.Restarts, []int{1}) {
+		t.Errorf("restarts = %v, want [1]", res.Restarts)
+	}
+	// The staged slot was volatile: recovery's peek must have seen nil.
+	if len(cell.notes) != 1 || cell.notes[0] != nil {
+		t.Errorf("recovery notes = %v, want [<nil>] (staged value wiped)", cell.notes)
+	}
+	var kinds []EventKind
+	for _, e := range res.Trace.Events {
+		kinds = append(kinds, e.Kind)
+	}
+	// stage, crash(wiping flush), restart, note-recovery (peek+note),
+	// then the full re-run.
+	want := []EventKind{EventStep, EventCrash, EventRestart, EventStep, EventStep, EventStep, EventStep, EventStep}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("event kinds = %v, want %v\n%s", kinds, want, res.Trace)
+	}
+	if e := res.Trace.Events[1]; e.Op != "flush" {
+		t.Errorf("crash wiped %q, want the pending flush\n%s", e.Op, res.Trace)
+	}
+	if e := res.Trace.Events[2]; e.Out != 1 {
+		t.Errorf("restart incarnation = %v, want 1", e.Out)
+	}
+}
+
+func TestCrashWithoutRestartEndsCrashed(t *testing.T) {
+	cfg := Config{
+		Objects:      map[string]Object{"C": &testDurableCell{}},
+		Programs:     []Program{stageFlushRead(1), stageFlushRead(2)},
+		Scheduler:    &scriptInjector{inner: NewRoundRobin(), victim: 0, crashAt: 2, noRestart: true},
+		VerifyReplay: true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Status[0] != StatusCrashed || res.Status[1] != StatusDone {
+		t.Fatalf("statuses = %v, want [crashed done]", res.Status)
+	}
+	if res.Outputs[0] != nil {
+		t.Errorf("crashed process produced output %v", res.Outputs[0])
+	}
+	if !reflect.DeepEqual(res.Restarts, []int{0, 0}) {
+		t.Errorf("restarts = %v, want [0 0]", res.Restarts)
+	}
+}
+
+func TestIncarnationVisibleToPrograms(t *testing.T) {
+	cfg := Config{
+		Objects: map[string]Object{"C": &testDurableCell{}},
+		Programs: []Program{func(ctx *Ctx) Value {
+			ctx.Invoke("C", "stage", ctx.ID())
+			ctx.Invoke("C", "flush")
+			return ctx.Incarnation()
+		}},
+		Scheduler:    &scriptInjector{inner: NewRoundRobin(), victim: 0, crashAt: 1, window: 0},
+		VerifyReplay: true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Outputs[0] != 1 {
+		t.Errorf("output = %v, want incarnation 1", res.Outputs[0])
+	}
+}
+
+func TestBadFaultDirectives(t *testing.T) {
+	// Crashing a process that already finished is rejected.
+	_, err := Run(Config{
+		Objects:   map[string]Object{"C": &testDurableCell{}},
+		Programs:  []Program{stageFlushRead(1)},
+		Scheduler: Func(func(v View) int { return v.Enabled[0] }),
+	})
+	if err != nil {
+		t.Fatalf("baseline Run: %v", err)
+	}
+	for name, faults := range map[string][]Fault{
+		"crash out of range":     {{Proc: 7, Kind: FaultCrash}},
+		"restart of non-crashed": {{Proc: 0, Kind: FaultRestart}},
+		"unknown kind":           {{Proc: 0, Kind: FaultKind(9)}},
+	} {
+		fs := faults
+		inj := &onceInjector{faults: fs}
+		_, err := Run(Config{
+			Objects:   map[string]Object{"C": &testDurableCell{}},
+			Programs:  []Program{stageFlushRead(1)},
+			Scheduler: inj,
+		})
+		if !errors.Is(err, ErrBadFault) {
+			t.Errorf("%s: err = %v, want ErrBadFault", name, err)
+		}
+	}
+}
+
+// onceInjector issues its batch on the first Faults call, then schedules
+// round-robin.
+type onceInjector struct {
+	faults []Fault
+	fired  bool
+	rr     RoundRobin
+}
+
+func (o *onceInjector) Next(v View) int { return o.rr.Next(v) }
+
+func (o *onceInjector) Faults(v View) []Fault {
+	if o.fired {
+		return nil
+	}
+	o.fired = true
+	return o.faults
+}
+
+// thrashInjector crashes and restarts process 0 forever without ever
+// letting it run; the fault budget must stop the run.
+type thrashInjector struct{ rr RoundRobin }
+
+func (th *thrashInjector) Next(v View) int { return th.rr.Next(v) }
+
+func (th *thrashInjector) Faults(v View) []Fault {
+	if v.EnabledSet(0) {
+		return []Fault{{Proc: 0, Kind: FaultCrash}}
+	}
+	if v.CrashedSet(0) {
+		return []Fault{{Proc: 0, Kind: FaultRestart}}
+	}
+	return nil
+}
+
+func TestFaultBudgetBoundsCrashRestartLoops(t *testing.T) {
+	_, err := Run(Config{
+		Objects:   map[string]Object{"C": &testDurableCell{}},
+		Programs:  []Program{stageFlushRead(1)},
+		Scheduler: &thrashInjector{},
+		MaxSteps:  64,
+	})
+	if !errors.Is(err, ErrMaxSteps) {
+		t.Fatalf("err = %v, want ErrMaxSteps from the fault budget", err)
+	}
+}
+
+// namedRecoverable records OnCrash callbacks into a shared log to observe
+// callback order.
+type namedRecoverable struct {
+	name string
+	log  *[]string
+}
+
+func (n *namedRecoverable) Apply(_ *Env, inv Invocation) Response { return Respond(nil) }
+func (n *namedRecoverable) OnCrash(proc int)                      { *n.log = append(*n.log, n.name) }
+
+func TestOnCrashRunsInSortedNameOrder(t *testing.T) {
+	var log []string
+	objs := map[string]Object{
+		"zeta":  &namedRecoverable{name: "zeta", log: &log},
+		"alpha": &namedRecoverable{name: "alpha", log: &log},
+		"mid":   &namedRecoverable{name: "mid", log: &log},
+	}
+	cfg := Config{
+		Objects: objs,
+		Programs: []Program{func(ctx *Ctx) Value {
+			ctx.Invoke("alpha", "touch")
+			return ctx.Invoke("mid", "touch")
+		}},
+		Scheduler: &scriptInjector{inner: NewRoundRobin(), victim: 0, crashAt: 1, window: 0},
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := []string{"alpha", "mid", "zeta"}; !reflect.DeepEqual(log, want) {
+		t.Fatalf("OnCrash order = %v, want %v", log, want)
+	}
+}
+
+func TestCrashRestartDeterministicTrace(t *testing.T) {
+	run := func() string {
+		cfg := Config{
+			Objects:  map[string]Object{"C": &testDurableCell{}},
+			Programs: []Program{stageFlushRead(10), stageFlushRead(20), stageFlushRead(30)},
+			Scheduler: &scriptInjector{
+				inner: NewRandom(7), victim: 1, crashAt: 3, window: 4,
+			},
+			VerifyReplay: true,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res.Trace.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("crash-restart run not reproducible:\n--- first\n%s--- second\n%s", a, b)
+	}
+}
+
+func TestReplayCatchesStateSmuggledAcrossIncarnations(t *testing.T) {
+	// The program routes state through a closure variable instead of a
+	// durable object; incarnations observe different values, so the
+	// post-run replay (which re-executes each incarnation with the same
+	// closure) must diverge.
+	calls := 0
+	cfg := Config{
+		Objects: map[string]Object{"C": &testDurableCell{}},
+		Programs: []Program{func(ctx *Ctx) Value {
+			calls++
+			if calls > 1 {
+				return ctx.Invoke("C", "read")
+			}
+			ctx.Invoke("C", "stage", 1)
+			ctx.Invoke("C", "flush")
+			return ctx.Invoke("C", "read")
+		}},
+		Scheduler:    &scriptInjector{inner: NewRoundRobin(), victim: 0, crashAt: 1, window: 0},
+		VerifyReplay: true,
+	}
+	_, err := Run(cfg)
+	if !errors.Is(err, ErrReplayDivergence) {
+		t.Fatalf("err = %v, want ErrReplayDivergence", err)
+	}
+}

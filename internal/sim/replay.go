@@ -76,6 +76,37 @@ func replayProc(cfg Config, res *Result, id int) error {
 				return failf("extra invocation %s.%s", m.obj, m.inv.Op)
 			}
 			e := expected[next]
+			if e.Kind == EventCrash {
+				// The run crashed this process while exactly this
+				// invocation was pending: wipe the replayed incarnation
+				// too, then either confirm the process stayed crashed or
+				// re-execute the recorded restart.
+				if e.Object != m.obj || e.Op != m.inv.Op || !reflect.DeepEqual(e.Args, m.inv.Args) {
+					abortReplay(p)
+					return failf("program invoked %s.%s%v, crash wiped a different invocation", m.obj, m.inv.Op, m.inv.Args)
+				}
+				abortReplay(p)
+				next++
+				if next >= len(expected) {
+					if res.Status[id] != StatusCrashed {
+						return failf("trace ends with a crash but process status is %v", res.Status[id])
+					}
+					return nil
+				}
+				r := expected[next]
+				if r.Kind != EventRestart {
+					return failf("crash followed by %s event, want restart", r.Kind)
+				}
+				next++
+				inc, ok := r.Out.(int)
+				if !ok {
+					return failf("restart event carries incarnation %v, want an int", r.Out)
+				}
+				p.live = true
+				//detlint:allow nodeterminism sequential playback: the restarted goroutine is the only live one and blocks on resCh between messages, same handshake as the initial replay goroutine
+				go runIncarnation(id, inc, cfg.Recovery, cfg.Programs[id], p)
+				continue
+			}
 			if e.Kind != EventStep {
 				abortReplay(p)
 				return failf("program invoked %s.%s, trace records a %s mark", m.obj, m.inv.Op, e.Kind)

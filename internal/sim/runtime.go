@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // DefaultMaxSteps bounds runs whose scheduler never stops; exceeding it is
@@ -84,6 +85,11 @@ type Config struct {
 	// second execution — catching programs that are not pure functions
 	// of their invocation results. See verifyReplay in replay.go.
 	VerifyReplay bool
+	// Recovery, when non-nil, runs on a restarted process's fresh
+	// goroutine before its Program re-executes (see FaultRestart in
+	// fault.go). Incarnation 0 never runs it. It is shared by all
+	// processes and must obey the Program purity contract.
+	Recovery RecoveryProc
 }
 
 // ProcStatus is the final status of a process after a run.
@@ -99,6 +105,10 @@ const (
 	StatusStopped
 	// StatusFailed means the program panicked.
 	StatusFailed
+	// StatusCrashed means a FaultInjector crashed the process and no
+	// restart arrived before the run ended. Its in-flight invocation was
+	// wiped, not applied.
+	StatusCrashed
 )
 
 // String implements fmt.Stringer.
@@ -112,6 +122,8 @@ func (s ProcStatus) String() string {
 		return "stopped"
 	case StatusFailed:
 		return "failed"
+	case StatusCrashed:
+		return "crashed"
 	default:
 		return fmt.Sprintf("ProcStatus(%d)", int(s))
 	}
@@ -129,6 +141,10 @@ type Result struct {
 	Enabled []int
 	// Steps is the number of atomic steps taken.
 	Steps int
+	// Restarts holds, per process, how many times it was crash-restarted
+	// (its final incarnation number). It is nil when the scheduler is not
+	// a FaultInjector.
+	Restarts []int
 	// Trace is the recorded event history (empty if DisableTrace).
 	Trace Trace
 }
@@ -185,13 +201,14 @@ type resume struct {
 type abortSignal struct{}
 
 type procState struct {
-	msgCh   chan message
-	resCh   chan resume
-	status  ProcStatus
-	pending bool
-	inv     message
-	output  Value
-	live    bool // goroutine still owns the channels
+	msgCh       chan message
+	resCh       chan resume
+	status      ProcStatus
+	pending     bool
+	inv         message
+	output      Value
+	live        bool // goroutine still owns the channels
+	incarnation int  // number of crash-restarts applied so far
 }
 
 // Run executes one complete run of the configuration and returns its
@@ -218,6 +235,9 @@ func Run(cfg Config) (*Result, error) {
 	if o, ok := sched.(Observer); ok {
 		rt.obs = o
 	}
+	if fi, ok := sched.(FaultInjector); ok {
+		rt.injector = fi
+	}
 	for i, prog := range cfg.Programs {
 		p := &procState{
 			msgCh: make(chan message),
@@ -239,6 +259,21 @@ func Run(cfg Config) (*Result, error) {
 
 	for {
 		enabled := rt.enabled()
+		if rt.injector != nil {
+			// Consult the fault channel before the scheduling decision;
+			// an applied batch invalidates the view, so restart the round.
+			// This runs even with no process enabled: a restart directive
+			// is how a run whose survivors are all done resumes a crashed
+			// process (see FaultInjector in fault.go).
+			faults := rt.injector.Faults(View{Step: rt.steps, Enabled: enabled, Crashed: rt.crashedIDs()})
+			if len(faults) > 0 {
+				if err := rt.applyFaults(faults, maxSteps); err != nil {
+					rt.abortAll()
+					return nil, err
+				}
+				continue
+			}
+		}
 		if len(enabled) == 0 {
 			break
 		}
@@ -286,13 +321,17 @@ func contains(xs []int, x int) bool {
 }
 
 type runtime struct {
-	cfg   Config
-	rng   *rand.Rand
-	obs   Observer // scheduler's event tap, if it implements Observer
-	procs []*procState
-	steps int
-	seq   int
-	trace Trace
+	cfg      Config
+	rng      *rand.Rand
+	obs      Observer      // scheduler's event tap, if it implements Observer
+	injector FaultInjector // scheduler's fault channel, if it implements FaultInjector
+	procs    []*procState
+	steps    int
+	seq      int
+	faults   int // fault directives applied, bounded by the step budget
+	trace    Trace
+	recNames []string // sorted names of Recoverable objects, built lazily
+	recBuilt bool
 }
 
 func (rt *runtime) enabled() []int {
@@ -303,6 +342,106 @@ func (rt *runtime) enabled() []int {
 		}
 	}
 	return ids
+}
+
+// crashedIDs lists crashed-and-not-restarted processes in id order. Only
+// called when a FaultInjector is present, keeping the common path free of
+// the extra allocation.
+func (rt *runtime) crashedIDs() []int {
+	var ids []int
+	for i, p := range rt.procs {
+		if p.status == StatusCrashed && !p.live {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// applyFaults applies one directive batch in order. Each directive counts
+// against the step budget so an injector that crashes and restarts forever
+// fails the run instead of hanging it.
+func (rt *runtime) applyFaults(faults []Fault, maxSteps int) error {
+	for _, f := range faults {
+		if f.Proc < 0 || f.Proc >= len(rt.procs) {
+			return fmt.Errorf("%w: no process %d", ErrBadFault, f.Proc)
+		}
+		rt.faults++
+		if rt.faults > maxSteps {
+			return fmt.Errorf("%w (fault budget %d)", ErrMaxSteps, maxSteps)
+		}
+		var err error
+		switch f.Kind {
+		case FaultCrash:
+			err = rt.crash(f.Proc)
+		case FaultRestart:
+			err = rt.restart(f.Proc)
+		default:
+			err = fmt.Errorf("%w: unknown fault kind %d for process %d", ErrBadFault, int(f.Kind), f.Proc)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// crash wipes process id's volatile state: its pending invocation (recorded
+// in the EventCrash event, never applied), its goroutine with all program
+// locals, and its per-process volatile state in every Recoverable object.
+func (rt *runtime) crash(id int) error {
+	p := rt.procs[id]
+	if !p.pending || !p.live {
+		return fmt.Errorf("%w: crash of process %d with no pending invocation (status %v)", ErrBadFault, id, p.status)
+	}
+	wiped := p.inv
+	p.pending = false
+	p.status = StatusCrashed
+	rt.abort(p)
+	rt.record(Event{
+		Kind:   EventCrash,
+		Proc:   id,
+		Object: wiped.obj,
+		Op:     wiped.inv.Op,
+		Args:   wiped.inv.Args,
+	})
+	for _, name := range rt.recoverables() {
+		rt.cfg.Objects[name].(Recoverable).OnCrash(id)
+	}
+	return nil
+}
+
+// restart brings a crashed process back amnesiacally: a fresh goroutine
+// runs Config.Recovery (if any) and then the program from the top, under an
+// incremented incarnation. The restart settles like initial startup, so the
+// process is parked at its first new invocation (or already done) before
+// the next scheduling round.
+func (rt *runtime) restart(id int) error {
+	p := rt.procs[id]
+	if p.status != StatusCrashed || p.live {
+		return fmt.Errorf("%w: restart of process %d which is not crashed (status %v)", ErrBadFault, id, p.status)
+	}
+	p.incarnation++
+	p.live = true
+	rt.record(Event{Kind: EventRestart, Proc: id, Out: p.incarnation})
+	//detlint:allow nodeterminism lockstep handshake: the restarted goroutine blocks on its private resCh exactly like initial startup, so interleaving stays schedule-determined
+	go runIncarnation(id, p.incarnation, rt.cfg.Recovery, rt.cfg.Programs[id], p)
+	return rt.settle(id)
+}
+
+// recoverables returns the sorted names of Recoverable objects, computed
+// once per run; sorting keeps OnCrash callback order independent of map
+// iteration order.
+func (rt *runtime) recoverables() []string {
+	if !rt.recBuilt {
+		rt.recBuilt = true
+		for name, o := range rt.cfg.Objects {
+			if _, ok := o.(Recoverable); ok {
+				rt.recNames = append(rt.recNames, name)
+			}
+		}
+		sort.Strings(rt.recNames)
+	}
+	return rt.recNames
 }
 
 // step applies process id's pending invocation as one atomic step.
@@ -429,12 +568,25 @@ func (rt *runtime) result(enabledAtStop []int) *Result {
 		res.Outputs[i] = p.output
 		res.Status[i] = p.status
 	}
+	if rt.injector != nil {
+		res.Restarts = make([]int, len(rt.procs))
+		for i, p := range rt.procs {
+			res.Restarts[i] = p.incarnation
+		}
+	}
 	return res
 }
 
-// runProgram is the per-process goroutine body.
+// runProgram is the per-process goroutine body for incarnation 0.
 func runProgram(id int, prog Program, p *procState) {
-	ctx := &Ctx{id: id, msg: p.msgCh, res: p.resCh}
+	runIncarnation(id, 0, nil, prog, p)
+}
+
+// runIncarnation is the goroutine body shared by initial startup and
+// crash-restart: incarnations >= 1 run the recovery step first, then the
+// program from the top.
+func runIncarnation(id, inc int, recovery RecoveryProc, prog Program, p *procState) {
+	ctx := &Ctx{id: id, inc: inc, msg: p.msgCh, res: p.resCh}
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(abortSignal); ok {
@@ -443,6 +595,9 @@ func runProgram(id int, prog Program, p *procState) {
 			p.msgCh <- message{kind: msgPanic, err: r}
 		}
 	}()
+	if inc > 0 && recovery != nil {
+		recovery(ctx)
+	}
 	out := prog(ctx)
 	p.msgCh <- message{kind: msgDone, out: out}
 }

@@ -20,11 +20,27 @@ type View struct {
 	// pending invocation. It is never empty when Next is called and must
 	// not be mutated.
 	Enabled []int
+	// Crashed lists, in increasing order, the ids of processes that were
+	// crashed by a fault directive and not yet restarted (candidates for
+	// FaultRestart). It is populated only when the run's scheduler
+	// implements FaultInjector, and must not be mutated.
+	Crashed []int
 }
 
 // EnabledSet reports whether process id is enabled in the view.
 func (v View) EnabledSet(id int) bool {
 	for _, e := range v.Enabled {
+		if e == id {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashedSet reports whether process id is crashed (and restartable) in the
+// view.
+func (v View) CrashedSet(id int) bool {
+	for _, e := range v.Crashed {
 		if e == id {
 			return true
 		}
@@ -42,8 +58,9 @@ type Scheduler interface {
 }
 
 // Observer is an optional interface for schedulers. A scheduler that
-// implements it is shown every event the runtime records (steps and
-// BeginOp/EndOp marks), in order, before its next Next call. This keeps
+// implements it is shown every event the runtime records (steps,
+// BeginOp/EndOp marks, and crash/restart events), in order, before its
+// next Next call. This keeps
 // the adversary within the standard asynchronous model — it observes
 // only the public history of invocations and responses, never private
 // object state — while letting it react to the *structure* of the

@@ -13,6 +13,12 @@
 // terminates when every process has either produced an output or been
 // parked.
 //
+// Beyond the paper's crash-stop fault model, the simulator also supports
+// deterministic crash-restart with volatile-state loss: schedulers that
+// implement FaultInjector can crash a process (wiping its locals, its
+// in-flight invocation and the volatile half of Recoverable objects) and
+// later restart it through Config.Recovery. See fault.go for the model.
+//
 // # Concurrency contract
 //
 // Concurrent calls to Run are safe if and only if the Configs share no

@@ -5,7 +5,7 @@ import (
 	"strings"
 )
 
-// EventKind distinguishes the three kinds of trace events.
+// EventKind distinguishes the kinds of trace events.
 type EventKind int
 
 const (
@@ -17,6 +17,14 @@ const (
 	EventCall
 	// EventReturn marks the end of a logical operation (Ctx.EndOp).
 	EventReturn
+	// EventCrash records a FaultCrash directive: the process's pending
+	// invocation (carried in Object/Op/Args, never applied) and all its
+	// volatile state were wiped. Crash events consume no scheduler step.
+	EventCrash
+	// EventRestart records a FaultRestart directive: Out carries the new
+	// incarnation number. The events that follow for this process come
+	// from the recovery step and the re-executed program.
+	EventRestart
 )
 
 // String implements fmt.Stringer.
@@ -28,6 +36,10 @@ func (k EventKind) String() string {
 		return "call"
 	case EventReturn:
 		return "return"
+	case EventCrash:
+		return "crash"
+	case EventRestart:
+		return "restart"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -50,6 +62,14 @@ type Event struct {
 // String renders the event compactly, e.g. "12 P3 step R[1].write(5) -> <nil>".
 func (e Event) String() string {
 	var b strings.Builder
+	switch e.Kind {
+	case EventCrash:
+		fmt.Fprintf(&b, "%d P%d crash wiped %s.%s", e.Seq, e.Proc, e.Object, Invocation{Op: e.Op, Args: e.Args})
+		return b.String()
+	case EventRestart:
+		fmt.Fprintf(&b, "%d P%d restart incarnation %v", e.Seq, e.Proc, e.Out)
+		return b.String()
+	}
 	fmt.Fprintf(&b, "%d P%d %s %s.%s", e.Seq, e.Proc, e.Kind, e.Object, Invocation{Op: e.Op, Args: e.Args})
 	switch {
 	case e.Hang:

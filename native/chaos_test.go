@@ -279,6 +279,112 @@ func TestBoundedDoPassesOtherErrors(t *testing.T) {
 	}
 }
 
+// repeatInjector aborts the first `left` visits of (site, id); every
+// other visit passes clean. It models a process that crashes at the
+// same point repeatedly before its restart finally gets through.
+type repeatInjector struct {
+	mu   sync.Mutex
+	site string
+	id   int
+	left int
+}
+
+func (r *repeatInjector) At(site string, id int) Fault {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.left > 0 && site == r.site && id == r.id {
+		r.left--
+		return FaultAbort
+	}
+	return FaultNone
+}
+
+// TestElectionCrashRestartReentry is the native substrate's
+// crash-restart scenario: an injected abort unwinds the participant's
+// goroutine mid-Propose — every local variable dies, exactly the
+// amnesiac crash of the simulator's FaultCrash — and a later re-entry
+// is the restart, a fresh invocation with no memory of the first
+// attempt running over whatever shared state the dead attempt already
+// published. The election burns a proposer's identity durably before
+// any chaos point, so a same-identity restart must be refused with the
+// typed ErrIndexUsed (deterministically, never a hang) at every crash
+// site; at the doorway site — crash after the identity burn but before
+// any shared protocol write — a restart under a fresh identity must
+// recover completely and decide. Survivors' safety bounds hold
+// throughout. Run under -race, this also checks the re-entry path for
+// data races between a restarted participant and the live ones.
+func TestElectionCrashRestartReentry(t *testing.T) {
+	const k, m = 3, 16
+	ids := []int{2, 9, 14}
+	const freshID = 5 // the restarted victim's second incarnation identity
+	for _, site := range abortSites {
+		for round := 0; round < 40; round++ {
+			victim := ids[round%len(ids)]
+			e := NewElection(k, m)
+			e.SetInjector(&repeatInjector{site: site, id: victim, left: 1})
+			decisions := make([]any, len(ids))
+			errs := make([]error, len(ids))
+			var wg sync.WaitGroup
+			for p, id := range ids {
+				p, id := p, id
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					b := BoundedElection{E: e, B: Budget{Attempts: 2, Backoff: 1}}
+					decisions[p], errs[p] = b.Propose(context.Background(), id, 1000+id)
+				}()
+			}
+			wg.Wait()
+			proposed := map[any]bool{}
+			for _, id := range ids {
+				proposed[1000+id] = true
+			}
+			proposed[1000+freshID] = true
+			distinct := map[any]bool{}
+			for p, err := range errs {
+				switch {
+				case err == nil:
+					if !proposed[decisions[p]] {
+						t.Fatalf("site %s round %d: participant %d decided unproposed %v",
+							site, round, p, decisions[p])
+					}
+					distinct[decisions[p]] = true
+				case errors.Is(err, ErrExhausted):
+					if ids[p] != victim {
+						t.Fatalf("site %s round %d: untouched participant %d exhausted: %v",
+							site, round, p, err)
+					}
+				default:
+					t.Fatalf("site %s round %d: participant %d got %v, want nil or ErrExhausted",
+						site, round, p, err)
+				}
+			}
+			// Restart under the same identity: refused deterministically.
+			if _, err := e.Propose(victim, 1000+victim); !errors.Is(err, ErrIndexUsed) {
+				t.Fatalf("site %s round %d: same-identity restart got %v, want ErrIndexUsed",
+					site, round, err)
+			}
+			if site == "election.propose" {
+				// The dead attempt burned its identity but wrote nothing
+				// else; a fresh-identity restart joins over pristine shared
+				// state and must recover completely.
+				out, err := e.Propose(freshID, 1000+freshID)
+				if err != nil {
+					t.Fatalf("round %d: fresh-identity restart failed at the doorway: %v", round, err)
+				}
+				if !proposed[out] {
+					t.Fatalf("round %d: fresh-identity restart decided unproposed %v", round, out)
+				}
+				distinct[out] = true
+			}
+			if len(distinct) > k-1 {
+				t.Fatalf("site %s round %d: %d distinct decisions, bound %d",
+					site, round, len(distinct), k-1)
+			}
+		}
+	}
+}
+
 // TestBoundedElectionUnderAbort: the crashed participant degrades to
 // ErrExhausted (its identity is burned), everyone else decides within
 // the bound — never a hang, never a spurious error.
