@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint lint-sarif lint-full race test test-short bench bench-smoke experiments fuzz chaos clean
+.PHONY: all check build vet lint lint-sarif lint-full lint-recovery race test test-short bench bench-smoke experiments fuzz chaos clean
 
 all: build vet lint test
 
@@ -17,12 +17,18 @@ vet:
 	$(GO) vet ./...
 
 # Run the determinism & model-integrity analyzer suite (see README
-# "Static analysis"); nonzero exit on any unannotated finding. Runs are
-# incremental: an unchanged tree replays the cached report from
-# .detlint.cache ("detlint: cache hit"); use -no-cache to force a fresh
-# run.
+# "Static analysis"; `go run ./cmd/detlint -list-rules` prints the
+# catalogue), the v5 persistence/recovery rules included; nonzero exit
+# on any unannotated finding. Runs are incremental: an unchanged tree
+# replays the cached report from .detlint.cache ("detlint: cache hit");
+# use -no-cache to force a fresh run.
 lint:
 	$(GO) run ./cmd/detlint ./...
+
+# Just the persistence & recovery-safety rules, cache-free — the local
+# mirror of CI's recovery-gate job.
+lint-recovery:
+	$(GO) run ./cmd/detlint -no-cache -rules persistsplit,recoveryreads,journaldiscipline,restartcoverage ./...
 
 # Same suite, also writing a SARIF 2.1.0 log for code-scanning upload.
 lint-sarif:
@@ -46,14 +52,14 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Run the full benchmark suite and distill it into BENCH_6.json via
+# Run the full benchmark suite and distill it into BENCH_8.json via
 # cmd/benchjson, which pairs the .../seq and .../par sub-benchmarks of
 # bench_parallel_test.go and reports the parallel engines' speedup. The
 # JSON records numcpu/gomaxprocs so committed numbers are honest about
 # the machine they were measured on.
 bench:
 	$(GO) test -bench=. -benchmem . | tee bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_6.json < bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_8.json < bench.out
 	rm -f bench.out
 
 # One iteration per benchmark — a CI-sized check that the harness and

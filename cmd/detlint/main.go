@@ -56,7 +56,8 @@ import (
 func main() {
 	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	rootFlag := flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
-	list := flag.Bool("list", false, "list the available rules and exit")
+	list := flag.Bool("list", false, "alias for -list-rules")
+	listRules := flag.Bool("list-rules", false, "print the available rules (name and one-line doc, byte-stable order) and exit")
 	jsonOut := flag.Bool("json", false, "print the report as JSON instead of text")
 	sarifOut := flag.String("sarif", "", "also write a SARIF 2.1.0 log to the given path")
 	noCache := flag.Bool("no-cache", false, "ignore and do not write the result cache")
@@ -64,10 +65,8 @@ func main() {
 	hotReport := flag.String("hotreport", "", "write a JSON ranking of hot functions by allocation score to the given path")
 	flag.Parse()
 
-	if *list {
-		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
-		}
+	if *list || *listRules {
+		os.Stdout.WriteString(ruleList())
 		return
 	}
 
@@ -174,6 +173,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "detlint: %d finding(s)\n", len(report.Findings))
 		os.Exit(1)
 	}
+}
+
+// ruleList renders the registered rule set for -list-rules: one
+// "name doc" line per rule in registry order, byte-stable run to run so
+// the README rule-table check can diff against it.
+func ruleList() string {
+	var b strings.Builder
+	for _, a := range lint.Analyzers() {
+		fmt.Fprintf(&b, "%-17s %s\n", a.Name, a.Doc)
+	}
+	return b.String()
 }
 
 // findModuleRoot walks upward from the working directory to the nearest

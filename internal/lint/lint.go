@@ -40,6 +40,19 @@
 //     taint-traced through the SSA-lite value graph back to wall
 //     clocks, randomness, map order, channel scheduling, and
 //     unsynchronized reads.
+//   - persistsplit: every field of a sim.Recoverable implementor is
+//     declared //detlint:durable or //detlint:volatile, and OnCrash
+//     wipes exactly the volatile set — a wiped durable field is
+//     amnesia, an untouched volatile field is ghost state.
+//   - recoveryreads: code reachable from a RecoveryProc or Recovery
+//     method re-derives volatile fields before reading them
+//     (must-write-before-read on the CFG).
+//   - journaldiscipline: on methods of //detlint:journaled types,
+//     durable writes flow through the journal append before the
+//     response, and the response derives from the journal.
+//   - restartcoverage: test packages arming amnesiac restart
+//     adversaries target recoverable objects, or carry a
+//     negative-control allow.
 //   - allowaudit: every justified //detlint:allow must still suppress a
 //     finding; stale annotations are findings themselves.
 //
@@ -106,7 +119,22 @@ func Analyzers() []*Analyzer {
 		AnalyzerHotAlloc(),
 		AnalyzerBoxing(),
 		AnalyzerArenaReady(),
+		AnalyzerPersistSplit(),
+		AnalyzerRecoveryReads(),
+		AnalyzerJournalDiscipline(),
+		AnalyzerRestartCoverage(),
 		AnalyzerAllowAudit(),
+	}
+}
+
+// RecoveryAnalyzers returns the persistence/recovery-safety rule subset
+// behind the CI recovery-gate job.
+func RecoveryAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerPersistSplit(),
+		AnalyzerRecoveryReads(),
+		AnalyzerJournalDiscipline(),
+		AnalyzerRestartCoverage(),
 	}
 }
 

@@ -50,6 +50,14 @@ func loadFixtures(t *testing.T) []Diagnostic {
 			"detobj/internal/lintfixture/boxok":       "testdata/src/boxok",
 			"detobj/internal/lintfixture/arenabad":    "testdata/src/arenabad",
 			"detobj/internal/lintfixture/arenaok":     "testdata/src/arenaok",
+			"detobj/internal/lintfixture/persistbad":  "testdata/src/persistbad",
+			"detobj/internal/lintfixture/persistok":   "testdata/src/persistok",
+			"detobj/internal/lintfixture/recreadbad":  "testdata/src/recreadbad",
+			"detobj/internal/lintfixture/recreadok":   "testdata/src/recreadok",
+			"detobj/internal/lintfixture/journalbad":  "testdata/src/journalbad",
+			"detobj/internal/lintfixture/journalok":   "testdata/src/journalok",
+			"detobj/internal/lintfixture/restartcovbad": "testdata/src/restartcovbad",
+			"detobj/internal/lintfixture/restartcovok":  "testdata/src/restartcovok",
 		})
 		if err != nil {
 			fixtureErr = err
@@ -143,6 +151,21 @@ func TestFixturesFlagSeededViolations(t *testing.T) {
 		{"arenabad", "arenaready", "field sub of arena-nominated arenabad.Node is not flat: nested field data: slice"},
 		{"arenabad", "arenaready", "detlint:encoder must carry an inline justification"},
 		{"arenabad", "arenaready", "arena-nominated type arenabad.Table is not flat: map"},
+		{"persistbad", "persistsplit", "field count of persistbad.Cell (a sim.Recoverable implementor) has no //detlint:durable or //detlint:volatile annotation"},
+		{"persistbad", "persistsplit", "field torn of persistbad.Cell carries both //detlint:durable and //detlint:volatile"},
+		{"persistbad", "persistsplit", "OnCrash wipes field saved of persistbad.Cell, which is annotated //detlint:durable — amnesia"},
+		{"persistbad", "persistsplit", "OnCrash never wipes field tmp of persistbad.Cell, which is annotated //detlint:volatile — ghost state"},
+		{"persistbad", "persistsplit", "//detlint:volatile on field tmp of persistbad.Cell must carry an inline justification"},
+		{"persistbad", "persistsplit", "//detlint:durable attaches to no field or type of a sim.Recoverable implementor"},
+		{"recreadbad", "recoveryreads", "reads volatile field table of recreadbad.Cache before re-deriving it"},
+		{"recreadbad", "recoveryreads", "reads volatile field hits of recreadbad.Cache"},
+		{"recreadbad", "recoveryreads", "recovery code reachable from"},
+		{"journalbad", "journaldiscipline", "durable write to field count of journalbad.Log"},
+		{"journalbad", "journaldiscipline", "response of journalbad.(Log).Aside does not derive from the journal"},
+		{"journalbad", "journaldiscipline", "journal field rec of journalbad.Wiped is volatile"},
+		{"journalbad", "journaldiscipline", "journaled type journalbad.Empty nominates no //detlint:journal fields"},
+		{"journalbad", "journaldiscipline", "field j of journalbad.Unnominated is marked //detlint:journal but the type carries no //detlint:journaled nomination"},
+		{"restartcovbad", "restartcoverage", "arms the amnesiac restart adversary NewRepeatedCrashRestart but never touches a recoverable constructor"},
 	}
 	for _, want := range expect {
 		found := false
@@ -160,7 +183,7 @@ func TestFixturesFlagSeededViolations(t *testing.T) {
 
 func TestFixturesAcceptSafeIdioms(t *testing.T) {
 	diags := loadFixtures(t)
-	for _, clean := range []string{"nodetok", "purityok", "hangok", "schedok", "boundedok", "sharedok", "injectok", "restartok", "lockok", "flowok", "auditok", "hotallocok", "boxok", "arenaok"} {
+	for _, clean := range []string{"nodetok", "purityok", "hangok", "schedok", "boundedok", "sharedok", "injectok", "restartok", "lockok", "flowok", "auditok", "hotallocok", "boxok", "arenaok", "persistok", "recreadok", "journalok", "restartcovok"} {
 		for _, d := range inFile(diags, clean) {
 			t.Errorf("unexpected finding in clean fixture %s: %s", clean, d)
 		}

@@ -54,6 +54,14 @@ type Module struct {
 	hot *hotInfo
 	// esc caches the module-wide may-escape analysis (escape.go).
 	esc *escAnalysis
+	// persist caches the persistence classification of sim.Recoverable
+	// implementors (persist.go) across the recovery-safety rules.
+	persist *persistInfo
+	// testAllowFiles records the test files whose //detlint:allow
+	// comments are already indexed, so the rules that parse test files
+	// themselves (schedulecoverage, restartcoverage) never double-count
+	// a mark across rules or repeated runs.
+	testAllowFiles map[string]bool
 	// budgets caches the parsed .detlint.hot allocation budgets
 	// (hotbudget.go); budgetsLoaded distinguishes "no file" from
 	// "not read yet".

@@ -45,10 +45,12 @@ type Report struct {
 
 // detlintVersion names the analyzer release in reports and cache keys.
 // Bump it when rules change behavior so stale caches self-invalidate.
-const detlintVersion = "detlint/4.0.0"
+const detlintVersion = "detlint/5.0.0"
 
 // NewReport converts Run's diagnostics into report form, relativizing
 // file names against the module root.
+//
+//detlint:allow facadeparity lint is a development tool consumed through cmd/detlint, not a simulation module the api facade fronts
 func NewReport(root string, diags []Diagnostic) *Report {
 	r := &Report{Version: detlintVersion, Findings: make([]Finding, 0, len(diags))}
 	occ := make(map[string]int)

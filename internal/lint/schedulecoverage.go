@@ -135,8 +135,20 @@ func isSimRunCall(call *ast.CallExpr) bool {
 }
 
 // collectFileAllows indexes a test file's //detlint:allow comments so
-// suppression works for findings the rule anchors in test files.
+// suppression works for findings the rule anchors in test files. It is
+// idempotent per file: several rules parse the same test files (and the
+// driver can run more than once on one Module), and a duplicated mark
+// would read as stale to allowaudit — suppression only marks the first
+// match used.
 func collectFileAllows(m *Module, f *ast.File) {
+	name := m.Fset.Position(f.Pos()).Filename
+	if m.testAllowFiles[name] {
+		return
+	}
+	if m.testAllowFiles == nil {
+		m.testAllowFiles = make(map[string]bool)
+	}
+	m.testAllowFiles[name] = true
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))

@@ -1,0 +1,38 @@
+// Package journalok is a journaldiscipline fixture: a journaled
+// recoverable type whose op method mutates durable state, then appends
+// the (opid, response) journal record, then responds with the exact
+// value it journaled — the write-ahead order that makes the operation
+// idempotent under crash-restart re-invocation.
+package journalok
+
+import "detobj/internal/sim"
+
+// Log is a journaled single-cell store modeled on the recoverable
+// WRN core: "put" swaps the cell and journals the previous value as the
+// response.
+//
+//detlint:journaled put commits the cell write and the (proc, response) record in one atomic step
+type Log struct {
+	cell sim.Value //detlint:durable the shared cell is the non-volatile memory
+	//detlint:journal per proc: the recorded response a re-invocation replays
+	last map[int]sim.Value //detlint:durable a journal the crash wipes could not serve re-invocations
+}
+
+// OnCrash is a no-op: every field is deliberately durable.
+func (l *Log) OnCrash(proc int) {}
+
+// Apply implements sim.Object: "put"(v) swaps v into the cell and
+// responds with the previous value; "get" replays the caller's last
+// journaled response.
+func (l *Log) Apply(env *sim.Env, inv sim.Invocation) sim.Response {
+	switch inv.Op {
+	case "put":
+		r := l.cell
+		l.cell = inv.Arg(0)
+		l.last[env.Proc] = r
+		return sim.Respond(r)
+	case "get":
+		return sim.Respond(l.last[env.Proc])
+	}
+	return sim.Respond(nil)
+}

@@ -1,0 +1,37 @@
+// Package persistbad seeds every integrity finding of the persistsplit
+// rule: an unannotated field, a contradictory annotation pair, amnesia
+// (OnCrash wiping a durable field), ghost state (a volatile field
+// OnCrash misses), an unjustified annotation, and a persistence
+// annotation on a type outside the recoverable model.
+package persistbad
+
+import "detobj/internal/sim"
+
+// Cell is a sim.Recoverable implementor with a mis-declared split.
+type Cell struct {
+	count int // unannotated: the rule demands a declared intent
+	//detlint:durable survives the crash
+	//detlint:volatile no wait, it does not
+	torn  int
+	saved int         //detlint:durable the committed state a restart resumes from
+	stage map[int]int //detlint:volatile staged writes die with their process
+	tmp   int         //detlint:volatile
+}
+
+// Apply implements sim.Object minimally.
+func (c *Cell) Apply(env *sim.Env, inv sim.Invocation) sim.Response {
+	return sim.Respond(nil)
+}
+
+// OnCrash wipes the wrong set: it erases the durable saved field
+// (amnesia) and never touches the volatile tmp field (ghost state).
+func (c *Cell) OnCrash(proc int) {
+	c.saved = 0
+	delete(c.stage, proc)
+}
+
+// Plain is not recoverable — it has no OnCrash — so its persistence
+// annotation attaches to nothing.
+type Plain struct {
+	x int //detlint:durable misplaced: this type is outside the recoverable model
+}

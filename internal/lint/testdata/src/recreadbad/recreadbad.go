@@ -1,0 +1,73 @@
+// Package recreadbad seeds the recoveryreads findings: recovery code
+// observing volatile fields before re-deriving them — a guard read at
+// the top of a Recovery method, a read after a join only one arm of
+// which re-derived, an increment (which reads the old value) inside a
+// RecoveryProc closure, and a read buried in a helper the recovery root
+// reaches.
+package recreadbad
+
+import "detobj/internal/sim"
+
+// Cache pairs a durable log with a volatile table, like recreadok — but
+// every recovery path here peeks at the table too early.
+type Cache struct {
+	log   []int       //detlint:durable the source of truth the table is rebuilt from
+	table map[int]int //detlint:volatile derived index; a crash empties it
+	hits  int         //detlint:volatile per-run counter, zeroed by a crash
+}
+
+// Apply implements sim.Object minimally; the fixture's point is the
+// recovery code below, not the op path.
+func (c *Cache) Apply(env *sim.Env, inv sim.Invocation) sim.Response {
+	return sim.Respond(nil)
+}
+
+// OnCrash wipes the volatile half.
+func (c *Cache) OnCrash(proc int) {
+	clear(c.table)
+	c.hits = 0
+}
+
+// Recovery guards on the wiped table before rebuilding it: after a
+// crash the guard always sees the empty map, so the early return is
+// dead wrong exactly when recovery matters.
+func (c *Cache) Recovery(proc int) {
+	if _, ok := c.table[proc]; ok {
+		return
+	}
+	c.table = rebuild(c.log)
+}
+
+// Warm re-derives on only one arm, then reads after the join — the
+// intersection join must kill the half-written fact.
+func Warm(c *Cache) sim.RecoveryProc {
+	return func(ctx *sim.Ctx) {
+		if ctx.ID() == 0 {
+			c.table = rebuild(c.log)
+		}
+		c.hits++
+		_ = c.table[0]
+	}
+}
+
+// audit is a helper only recovery code reaches; the read inside it is
+// attributed to the reaching root by the callgraph witness. That the
+// caller re-derived the table first does not help: the analysis is
+// modular, and each function must earn its own reads.
+func (c *Cache) audit() int { return c.table[0] }
+
+// Recovery2 is a second entry point that reaches the helper.
+func Recovery2(c *Cache) sim.RecoveryProc {
+	return func(ctx *sim.Ctx) {
+		c.table = rebuild(c.log)
+		_ = c.audit()
+	}
+}
+
+func rebuild(log []int) map[int]int {
+	out := make(map[int]int, len(log))
+	for i, v := range log {
+		out[i] = v
+	}
+	return out
+}

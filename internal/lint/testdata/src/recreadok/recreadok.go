@@ -1,0 +1,56 @@
+// Package recreadok is a recoveryreads fixture: recovery code that
+// re-derives every volatile field from the durable half before reading
+// it — directly, on both arms of a branch before the join, and inside
+// the RecoveryProc-returning closure idiom.
+package recreadok
+
+import "detobj/internal/sim"
+
+// Cache pairs a durable log with a volatile lookup table re-derived
+// from it on recovery.
+type Cache struct {
+	log   []int       //detlint:durable the source of truth the table is rebuilt from
+	table map[int]int //detlint:volatile derived index over the log; recovery re-derives it
+}
+
+// Apply implements sim.Object minimally; the fixture's point is the
+// recovery code below, not the op path.
+func (c *Cache) Apply(env *sim.Env, inv sim.Invocation) sim.Response {
+	return sim.Respond(nil)
+}
+
+// OnCrash drops the whole derived table.
+func (c *Cache) OnCrash(proc int) { clear(c.table) }
+
+// Recovery re-derives the table before the read at the end: one arm
+// rebuilds from the log, the other starts empty, and the must-write
+// analysis sees the write on every path into the join.
+func (c *Cache) Recovery(proc int) int {
+	if len(c.log) == 0 {
+		c.table = make(map[int]int)
+	} else {
+		c.table = rebuild(c.log)
+	}
+	c.table[proc] = proc
+	return c.table[proc]
+}
+
+// Warm returns the recovery procedure as a closure — the usual
+// sim.Config.Recovery shape — writing the volatile field before any
+// read.
+func Warm(c *Cache) sim.RecoveryProc {
+	return func(ctx *sim.Ctx) {
+		c.table = rebuild(c.log)
+		c.table[ctx.ID()] = ctx.ID()
+	}
+}
+
+// rebuild indexes the log; it takes the durable slice by value, so no
+// volatile field is read here.
+func rebuild(log []int) map[int]int {
+	out := make(map[int]int, len(log))
+	for i, v := range log {
+		out[i] = v
+	}
+	return out
+}

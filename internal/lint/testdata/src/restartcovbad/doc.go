@@ -1,0 +1,4 @@
+// Package restartcovbad seeds the restartcoverage finding: its test
+// file arms an amnesiac restart adversary against plain,
+// non-recoverable objects without declaring itself a negative control.
+package restartcovbad

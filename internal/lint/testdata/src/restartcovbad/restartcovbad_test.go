@@ -1,0 +1,29 @@
+package restartcovbad
+
+import (
+	"testing"
+
+	"detobj/internal/chaos"
+	"detobj/internal/registers"
+	"detobj/internal/sim"
+)
+
+// TestRestartPlainObject restarts a victim against a plain register:
+// amnesiac restart against a non-recoverable object proves nothing
+// unless it is a declared negative control, and this test declares
+// nothing.
+func TestRestartPlainObject(t *testing.T) {
+	r := chaos.NewReport(2)
+	_, err := sim.Run(sim.Config{
+		Objects: map[string]sim.Object{"R": registers.NewAtomic(nil)},
+		Programs: []sim.Program{func(ctx *sim.Ctx) sim.Value {
+			ctx.Invoke("R", "write", 7)
+			return nil
+		}},
+		Scheduler: chaos.NewRepeatedCrashRestart(sim.NewRoundRobin(), r, 0, 1, 3),
+		MaxSteps:  1 << 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

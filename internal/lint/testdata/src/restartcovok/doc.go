@@ -1,0 +1,5 @@
+// Package restartcovok is a restartcoverage fixture: its test file arms
+// an amnesiac crash-restart adversary against a test-local recoverable
+// object (one with an OnCrash method), which is exactly what the
+// restart adversaries exist to exercise.
+package restartcovok

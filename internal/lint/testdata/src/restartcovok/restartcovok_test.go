@@ -1,0 +1,42 @@
+package restartcovok
+
+import (
+	"testing"
+
+	"detobj/internal/chaos"
+	"detobj/internal/sim"
+)
+
+// slate is a test-local recoverable scratch cell: the OnCrash method
+// marks the package as targeting the recoverable model.
+type slate struct {
+	vals map[int]sim.Value //detlint:volatile the whole point of the fixture is losing this on restart
+}
+
+func (s *slate) Apply(env *sim.Env, inv sim.Invocation) sim.Response {
+	if s.vals == nil {
+		s.vals = make(map[int]sim.Value)
+	}
+	s.vals[env.Proc] = inv.Arg(0)
+	return sim.Respond(nil)
+}
+
+func (s *slate) OnCrash(proc int) { delete(s.vals, proc) }
+
+// TestRestartHitsRecoverable restarts a victim against the recoverable
+// slate and checks the run terminates.
+func TestRestartHitsRecoverable(t *testing.T) {
+	r := chaos.NewReport(1)
+	_, err := sim.Run(sim.Config{
+		Objects: map[string]sim.Object{"S": &slate{}},
+		Programs: []sim.Program{func(ctx *sim.Ctx) sim.Value {
+			ctx.Invoke("S", "put", 7)
+			return nil
+		}},
+		Scheduler: chaos.NewCrashRestart(sim.NewRoundRobin(), r, 0, 1, 0),
+		MaxSteps:  1 << 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -44,8 +44,8 @@ import (
 // survive. (Writes are process-private until persisted, mirroring a
 // write-behind cache whose lines are lost on power failure.)
 type Register struct {
-	durable sim.Value
-	buf     map[int]sim.Value // volatile, per process
+	durable sim.Value         //detlint:durable the non-volatile cell itself — the value "persist" committed
+	buf     map[int]sim.Value //detlint:volatile per-process staged writes; a crash drops the crashed caller's entry
 }
 
 // NewRegister returns a recoverable register durably holding initial.
@@ -129,7 +129,7 @@ func (r RegisterRef) Read(ctx *sim.Ctx) sim.Value { return ctx.Invoke(r.Name, "r
 // runtime wipes it deterministically and the loss is visible in the
 // trace.
 type Scratch struct {
-	slots map[int]sim.Value
+	slots map[int]sim.Value //detlint:volatile the scratchpad exists to be wiped: every slot dies with its process
 }
 
 // NewScratch returns an empty scratchpad.
@@ -163,7 +163,7 @@ func (s *Scratch) OnCrash(proc int) { delete(s.slots, proc) }
 // whose win/lose answer exists only in the (volatile) local state of
 // whoever received it.
 type TestAndSet struct {
-	winner int
+	winner int //detlint:durable the winner's identity is the whole point: it must survive so a restarted winner re-learns its win
 }
 
 // NewTestAndSet returns a fresh recoverable test-and-set.

@@ -189,6 +189,88 @@ func TestWRNExactlyOnceUnderRepeatedCrashes(t *testing.T) {
 	}
 }
 
+// recrashInjector drives back-to-back crashes: the victim is crashed
+// each time the step counter reaches the next threshold in crashAt and
+// restarted in the immediately following fault round. Equal consecutive
+// thresholds re-crash the restarted process before it takes a single
+// step, so the crash lands inside the recovery procedure itself.
+type recrashInjector struct {
+	inner   sim.Scheduler
+	victim  int
+	crashAt []int
+	next    int
+}
+
+func (r *recrashInjector) Next(v sim.View) int { return r.inner.Next(v) }
+
+func (r *recrashInjector) Faults(v sim.View) []sim.Fault {
+	if v.CrashedSet(r.victim) {
+		return []sim.Fault{{Proc: r.victim, Kind: sim.FaultRestart}}
+	}
+	if r.next < len(r.crashAt) && v.Step >= r.crashAt[r.next] && v.EnabledSet(r.victim) {
+		r.next++
+		return []sim.Fault{{Proc: r.victim, Kind: sim.FaultCrash}}
+	}
+	return nil
+}
+
+// TestWRNJournalReplayAcrossBackToBackCrashes crashes the same in-flight
+// WRN operation three times under one operation id — once right after
+// the durable commit point, then again with zero intervening steps (the
+// restarted recovery's first invocation is wiped before it applies), and
+// once more mid-recovery — and audits that the journal replay answers
+// every later incarnation without re-mutating the cells: ApplyCount
+// stays exactly one, the trace carries a single core apply step, and the
+// final response equals the journaled one.
+func TestWRNJournalReplayAcrossBackToBackCrashes(t *testing.T) {
+	objects := map[string]sim.Object{}
+	w := recoverable.NewWRN(objects, "W", 2)
+	prog := func(ctx *sim.Ctx) sim.Value {
+		return w.WRN(ctx, 0, 0, 7)
+	}
+	// Step 0 is the cache get, step 1 the core apply (the durable commit
+	// point). crashAt {2, 2, 3}: the first crash wipes the pending cache
+	// put; the second hits the restarted recovery before its first
+	// invocation applies; the third lands after recovery's "applied" step
+	// with "lookup" pending. Incarnation 3 then runs recovery to
+	// completion and re-runs the program, which the cache answers.
+	res := run(t, sim.Config{
+		Objects:   objects,
+		Programs:  []sim.Program{prog},
+		Scheduler: &recrashInjector{inner: sim.NewRoundRobin(), victim: 0, crashAt: []int{2, 2, 3}},
+		Recovery:  w.Recovery(func(proc int) int { return 0 }),
+	})
+	if !res.AllDone() {
+		t.Fatalf("statuses = %v, want all done", res.Status)
+	}
+	if got := res.Restarts[0]; got != 3 {
+		t.Fatalf("restarts = %d, want 3 (one per crash)", got)
+	}
+	if n := w.Core().ApplyCount(0); n != 1 {
+		t.Errorf("operation 0 mutated the cells %d times across 4 incarnations, want exactly once", n)
+	}
+	applies, crashes := 0, 0
+	for _, e := range res.Trace.Events {
+		switch {
+		case e.Kind == sim.EventStep && e.Object == "W.core" && e.Op == "apply":
+			applies++
+		case e.Kind == sim.EventCrash:
+			crashes++
+		}
+	}
+	if applies != 1 || crashes != 3 {
+		t.Errorf("trace has %d core apply steps and %d crashes, want 1 and 3\n%s", applies, crashes, res.Trace)
+	}
+	// The operation read A[1] before any write: the journaled response,
+	// replayed to every incarnation, is ⊥.
+	if !wrn.IsBottom(res.Outputs[0]) {
+		t.Errorf("replayed response = %v, want ⊥ (the journaled original)", res.Outputs[0])
+	}
+	if got := w.Core().Cells()[0]; got != 7 {
+		t.Errorf("cell 0 = %v, want 7 (the committed write survived every crash)", got)
+	}
+}
+
 // protocolBuilder is the common signature of the four E20 builders.
 type protocolBuilder func(objects map[string]sim.Object, name string, v0, v1 sim.Value) []sim.Program
 

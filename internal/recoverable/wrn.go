@@ -33,12 +33,16 @@ import (
 
 // WRNCore is the durable half of the recoverable WRN_k: cells plus the
 // per-process operation journal, updated atomically.
+//
+//detlint:journaled apply commits cell mutation and (opid, response) journal record in one atomic step
 type WRNCore struct {
-	k        int
-	cells    []sim.Value
-	lastOp   map[int]int       // per proc: last applied operation id
-	lastResp map[int]sim.Value // per proc: its recorded response
-	applies  map[int]int       // per op id: times the cells were actually mutated
+	k     int         //detlint:durable the arity is configuration, fixed at construction
+	cells []sim.Value //detlint:durable the shared cells are the non-volatile memory the model posits
+	//detlint:journal per proc: last applied operation id — the write-ahead commit record
+	lastOp map[int]int //detlint:durable a journal the crash wipes cannot make apply idempotent
+	//detlint:journal per proc: the recorded response a re-invocation replays
+	lastResp map[int]sim.Value //detlint:durable the re-invocation answer must survive the restart it serves
+	applies  map[int]int       //detlint:durable audit counter: times each op id actually mutated the cells, across all incarnations
 }
 
 // NewWRNCore returns a fresh durable core with k cells at ⊥.
@@ -95,9 +99,9 @@ func (c *WRNCore) Apply(env *sim.Env, inv sim.Invocation) sim.Response {
 		}
 		r := c.cells[(i+1)%c.k]
 		c.cells[i] = v
+		c.applies[opid]++
 		c.lastOp[env.Proc] = opid
 		c.lastResp[env.Proc] = r
-		c.applies[opid]++
 		return sim.Respond(r)
 	case "applied":
 		opid, ok := inv.Arg(0).(int)

@@ -131,6 +131,104 @@ func TestCrashWipesVolatileStateAndRecoveryRuns(t *testing.T) {
 	}
 }
 
+// recrashInjector crashes its victim each time the step counter reaches
+// the next threshold in crashAt (in order), restarting it immediately in
+// the following fault round. Consecutive equal thresholds crash the
+// restarted process again before it takes a single step — a crash
+// during the recovery procedure itself.
+type recrashInjector struct {
+	inner   Scheduler
+	victim  int
+	crashAt []int
+	next    int
+}
+
+func (r *recrashInjector) Next(v View) int { return r.inner.Next(v) }
+
+func (r *recrashInjector) Faults(v View) []Fault {
+	if v.CrashedSet(r.victim) {
+		return []Fault{{Proc: r.victim, Kind: FaultRestart}}
+	}
+	if r.next < len(r.crashAt) && v.Step >= r.crashAt[r.next] && v.EnabledSet(r.victim) {
+		r.next++
+		return []Fault{{Proc: r.victim, Kind: FaultCrash}}
+	}
+	return nil
+}
+
+// TestCrashDuringRecoveryRestartsRecoveryFromTop pins the nesting
+// semantics of a fault landing while a RecoveryProc is mid-flight: the
+// pending recovery invocation is wiped exactly like a program
+// invocation, the next incarnation runs the recovery procedure again
+// from the top, and nothing of the interrupted recovery survives except
+// what it already committed durably. Recovery is not atomic — it is
+// ordinary lockstep code — and must itself be written idempotently.
+func TestCrashDuringRecoveryRestartsRecoveryFromTop(t *testing.T) {
+	cell := &testDurableCell{}
+	cfg := Config{
+		Objects:  map[string]Object{"C": &testDurableCell{}, "D": cell},
+		Programs: []Program{stageFlushRead(42)},
+		// Step 0 applies "stage"; the crash at step 1 wipes the pending
+		// "flush". Incarnation 1's recovery notes its incarnation (step 1)
+		// and is then crashed with its "peek" pending — mid-recovery.
+		// Incarnation 2 re-runs recovery from the top, completes it, and
+		// re-runs the program.
+		Scheduler: &recrashInjector{inner: NewRoundRobin(), victim: 0, crashAt: []int{1, 2}},
+		Recovery: func(ctx *Ctx) {
+			ctx.Invoke("D", "note", ctx.Incarnation())
+			ctx.Invoke("D", "peek")
+		},
+		VerifyReplay: true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.AllDone() {
+		t.Fatalf("statuses = %v, want all done", res.Status)
+	}
+	if res.Outputs[0] != 42 {
+		t.Errorf("output = %v, want 42 (program re-ran after the second restart)", res.Outputs[0])
+	}
+	if !reflect.DeepEqual(res.Restarts, []int{2}) {
+		t.Errorf("restarts = %v, want [2]", res.Restarts)
+	}
+	// Each incarnation's recovery entered from the top: the durable note
+	// log shows incarnation 1 (interrupted after its first step) and then
+	// incarnation 2 (which ran to completion).
+	if want := []Value{1, 2}; !reflect.DeepEqual(cell.notes, want) {
+		t.Errorf("recovery notes = %v, want %v (recovery re-runs from the top)", cell.notes, want)
+	}
+	var kinds []EventKind
+	for _, e := range res.Trace.Events {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []EventKind{
+		EventStep,    // stage
+		EventCrash,   // wipes pending flush
+		EventRestart, // incarnation 1
+		EventStep,    // recovery: note(1)
+		EventCrash,   // mid-recovery: wipes pending peek
+		EventRestart, // incarnation 2
+		EventStep,    // recovery: note(2)
+		EventStep,    // recovery: peek
+		EventStep,    // stage
+		EventStep,    // flush
+		EventStep,    // read
+	}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("event kinds = %v, want %v\n%s", kinds, want, res.Trace)
+	}
+	// The second crash's wiped invocation is the recovery's own pending
+	// step, recorded like any other.
+	if e := res.Trace.Events[4]; e.Object != "D" || e.Op != "peek" {
+		t.Errorf("mid-recovery crash wiped %s.%q, want D.\"peek\"\n%s", e.Object, e.Op, res.Trace)
+	}
+	if e := res.Trace.Events[5]; e.Out != 2 {
+		t.Errorf("second restart incarnation = %v, want 2", e.Out)
+	}
+}
+
 func TestCrashWithoutRestartEndsCrashed(t *testing.T) {
 	cfg := Config{
 		Objects:      map[string]Object{"C": &testDurableCell{}},
