@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint lint-sarif lint-full lint-recovery race test test-short bench bench-smoke experiments fuzz chaos clean
+.PHONY: all check build vet lint lint-sarif lint-full lint-recovery lint-parallel race test test-short bench bench-smoke experiments fuzz chaos clean
 
 all: build vet lint test
 
@@ -30,6 +30,12 @@ lint:
 lint-recovery:
 	$(GO) run ./cmd/detlint -no-cache -rules persistsplit,recoveryreads,journaldiscipline,restartcoverage ./...
 
+# Just the parallel-determinism rules (the par.ForEach slot/merge/sink/
+# seed contract), cache-free — the local mirror of CI's parallel-gate
+# job.
+lint-parallel:
+	$(GO) run ./cmd/detlint -no-cache -parallel ./...
+
 # Same suite, also writing a SARIF 2.1.0 log for code-scanning upload.
 lint-sarif:
 	$(GO) run ./cmd/detlint -sarif detlint.sarif ./...
@@ -52,14 +58,18 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Run the full benchmark suite and distill it into BENCH_8.json via
-# cmd/benchjson, which pairs the .../seq and .../par sub-benchmarks of
-# bench_parallel_test.go and reports the parallel engines' speedup. The
-# JSON records numcpu/gomaxprocs so committed numbers are honest about
-# the machine they were measured on.
+# Run the full benchmark suite and distill it into the next-numbered
+# BENCH_N.json via cmd/benchjson, which pairs the .../seq and .../par
+# sub-benchmarks of bench_parallel_test.go and reports the parallel
+# engines' speedup. The target number is derived from the newest
+# committed BENCH_N.json (plus one), so the filename never drifts from
+# the tree the way a hardcoded number does. The JSON records
+# numcpu/gomaxprocs so committed numbers are honest about the machine
+# they were measured on.
+BENCH_NEXT = $(shell ls BENCH_*.json 2>/dev/null | sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$$/\1/p' | sort -n | tail -1 | awk '{print $$1+1}')
 bench:
 	$(GO) test -bench=. -benchmem . | tee bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_8.json < bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_$(if $(BENCH_NEXT),$(BENCH_NEXT),1).json < bench.out
 	rm -f bench.out
 
 # One iteration per benchmark — a CI-sized check that the harness and

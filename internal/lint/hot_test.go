@@ -231,3 +231,42 @@ func TestHotReportRanking(t *testing.T) {
 		t.Error("hot report JSON is not byte-stable across builds")
 	}
 }
+
+// TestBenchAllocRefsDegradation: the bench cross-reference degrades
+// with an explanatory note instead of a silent hole — no BENCH_N.json,
+// garbage JSON, a file with no alloc figures — and stays note-free on
+// a healthy file. The newest-numbered file must win.
+func TestBenchAllocRefsDegradation(t *testing.T) {
+	dir := t.TempDir()
+	refs, note := benchAllocRefs(dir)
+	if refs != nil || !strings.Contains(note, "no committed BENCH_N.json") {
+		t.Errorf("empty dir: refs=%v note=%q, want nil refs and a missing-file note", refs, note)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_3.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	refs, note = benchAllocRefs(dir)
+	if refs != nil || !strings.Contains(note, "BENCH_3.json is not parsable") {
+		t.Errorf("garbage file: refs=%v note=%q, want nil refs and a parse note", refs, note)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_4.json"), []byte(`{"benchmarks":[{"name":"BenchmarkX","allocs_per_op":0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	refs, note = benchAllocRefs(dir)
+	if refs != nil || !strings.Contains(note, "BENCH_4.json records no allocs/op") {
+		t.Errorf("zero-alloc file: refs=%v note=%q, want nil refs and an empty-figures note", refs, note)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_10.json"), []byte(`{"benchmarks":[{"name":"BenchmarkY","allocs_per_op":7}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	refs, note = benchAllocRefs(dir)
+	if note != "" {
+		t.Errorf("healthy file: unexpected note %q", note)
+	}
+	if len(refs) != 1 || refs[0].Source != "BENCH_10.json" || refs[0].Name != "BenchmarkY" || refs[0].AllocsPerOp != 7 {
+		t.Errorf("healthy file: refs=%v, want one BENCH_10.json/BenchmarkY/7 ref", refs)
+	}
+}

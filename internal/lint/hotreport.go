@@ -56,6 +56,11 @@ type HotReport struct {
 	// Bench carries allocs/op from the newest BENCH_N.json, when one
 	// is committed, so static score and measured cost read together.
 	Bench []BenchRef `json:"bench,omitempty"`
+	// Note explains an absent or empty Bench section — no committed
+	// BENCH_N.json, an unreadable one, or one with no alloc figures —
+	// so a missing cross-reference reads as a documented degradation,
+	// not a silent hole.
+	Note string `json:"note,omitempty"`
 }
 
 // BuildHotReport computes the ranking over a loaded module.
@@ -92,7 +97,7 @@ func BuildHotReport(m *Module) *HotReport {
 		}
 		return rep.Functions[i].Function < rep.Functions[j].Function
 	})
-	rep.Bench = benchAllocRefs(m.Root)
+	rep.Bench, rep.Note = benchAllocRefs(m.Root)
 	return rep
 }
 
@@ -108,11 +113,13 @@ func (r *HotReport) JSON() ([]byte, error) {
 var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
 
 // benchAllocRefs loads allocs/op from the newest BENCH_N.json at the
-// module root; no file or an unparsable file simply yields no refs.
-func benchAllocRefs(root string) []BenchRef {
+// module root. Degradation is graceful and explained: no committed
+// file, an unreadable or unparsable one, or one without alloc figures
+// yields no refs plus a one-line note for the report (and stderr).
+func benchAllocRefs(root string) ([]BenchRef, string) {
 	entries, err := os.ReadDir(root)
 	if err != nil {
-		return nil
+		return nil, "module root unreadable; bench cross-reference skipped"
 	}
 	newest, newestN := "", -1
 	for _, e := range entries {
@@ -125,11 +132,11 @@ func benchAllocRefs(root string) []BenchRef {
 		}
 	}
 	if newest == "" {
-		return nil
+		return nil, "no committed BENCH_N.json at the module root; run `make bench` to record one"
 	}
 	data, err := os.ReadFile(filepath.Join(root, newest))
 	if err != nil {
-		return nil
+		return nil, newest + " unreadable; bench cross-reference skipped"
 	}
 	var doc struct {
 		Benchmarks []struct {
@@ -138,7 +145,7 @@ func benchAllocRefs(root string) []BenchRef {
 		} `json:"benchmarks"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return nil
+		return nil, newest + " is not parsable benchmark JSON; re-run `make bench` to refresh it"
 	}
 	var out []BenchRef
 	for _, b := range doc.Benchmarks {
@@ -146,5 +153,8 @@ func benchAllocRefs(root string) []BenchRef {
 			out = append(out, BenchRef{Source: newest, Name: b.Name, AllocsPerOp: b.AllocsPerOp})
 		}
 	}
-	return out
+	if len(out) == 0 {
+		return nil, newest + " records no allocs/op figures; bench cross-reference is empty"
+	}
+	return out, ""
 }

@@ -53,6 +53,19 @@
 //   - restartcoverage: test packages arming amnesiac restart
 //     adversaries target recoverable objects, or carry a
 //     negative-control allow.
+//   - slotdiscipline: par.ForEach workers write captured state only
+//     through index-derived slots (an SSA-lite proof that the subscript
+//     derives from the worker index), sync/atomic, or a mutex.
+//   - mergeorder: code consuming per-index results after a ForEach
+//     reduces in index order — no map-range merges with order-sensitive
+//     bodies, no completion-order channel receives, no unstable sorts
+//     keyed off the index.
+//   - sharedsink: shared accumulators captured by workers match a
+//     documented shape (atomic counter, one-mutex sink, index slots),
+//     and post-spawn reads carry a proven happens-before.
+//   - seedflow: worker inputs — seeds, configs, slot values — are pure
+//     functions of the worker index, never wall clocks, shared RNG
+//     draws, map order, or channel receives.
 //   - allowaudit: every justified //detlint:allow must still suppress a
 //     finding; stale annotations are findings themselves.
 //
@@ -123,7 +136,23 @@ func Analyzers() []*Analyzer {
 		AnalyzerRecoveryReads(),
 		AnalyzerJournalDiscipline(),
 		AnalyzerRestartCoverage(),
+		AnalyzerSlotDiscipline(),
+		AnalyzerMergeOrder(),
+		AnalyzerSharedSink(),
+		AnalyzerSeedFlow(),
 		AnalyzerAllowAudit(),
+	}
+}
+
+// ParallelAnalyzers returns the parallel-determinism rule subset behind
+// the CI parallel-gate job: the par.ForEach slot/merge/sink/seed
+// contract.
+func ParallelAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerSlotDiscipline(),
+		AnalyzerMergeOrder(),
+		AnalyzerSharedSink(),
+		AnalyzerSeedFlow(),
 	}
 }
 

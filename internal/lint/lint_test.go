@@ -58,6 +58,14 @@ func loadFixtures(t *testing.T) []Diagnostic {
 			"detobj/internal/lintfixture/journalok":   "testdata/src/journalok",
 			"detobj/internal/lintfixture/restartcovbad": "testdata/src/restartcovbad",
 			"detobj/internal/lintfixture/restartcovok":  "testdata/src/restartcovok",
+			"detobj/internal/lintfixture/slotbad":       "testdata/src/slotbad",
+			"detobj/internal/lintfixture/slotok":        "testdata/src/slotok",
+			"detobj/internal/lintfixture/mergebad":      "testdata/src/mergebad",
+			"detobj/internal/lintfixture/mergeok":       "testdata/src/mergeok",
+			"detobj/internal/lintfixture/sinkbad":       "testdata/src/sinkbad",
+			"detobj/internal/lintfixture/sinkok":        "testdata/src/sinkok",
+			"detobj/internal/lintfixture/seedbad":       "testdata/src/seedbad",
+			"detobj/internal/lintfixture/seedok":        "testdata/src/seedok",
 		})
 		if err != nil {
 			fixtureErr = err
@@ -166,6 +174,28 @@ func TestFixturesFlagSeededViolations(t *testing.T) {
 		{"journalbad", "journaldiscipline", "journaled type journalbad.Empty nominates no //detlint:journal fields"},
 		{"journalbad", "journaldiscipline", "field j of journalbad.Unnominated is marked //detlint:journal but the type carries no //detlint:journaled nomination"},
 		{"restartcovbad", "restartcoverage", "arms the amnesiac restart adversary NewRepeatedCrashRestart but never touches a recoverable constructor"},
+		{"slotbad", "slotdiscipline", `assignment to captured variable "total"`},
+		{"slotbad", "slotdiscipline", `write into captured map "out"`},
+		{"slotbad", "slotdiscipline", `write to captured "slots" at a subscript not derived from the worker index`},
+		{"slotbad", "slotdiscipline", `write to field count of captured "t"`},
+		{"slotbad", "slotdiscipline", `write through captured pointer "p"`},
+		{"slotbad", "slotdiscipline", `write through "s", which aliases captured state`},
+		{"slotbad", "slotdiscipline", `test worker assigns captured variable "total"`},
+		{"slotbad", "slotdiscipline", `test worker writes captured "slots" at a subscript not derived`},
+		{"mergebad", "mergeorder", `worker-filled map "hist" with an order-sensitive body`},
+		{"mergebad", "mergeorder", `collects "keys" in iteration order but never sorts it`},
+		{"mergebad", "mergeorder", `range over channel "results" collects worker results in completion order`},
+		{"mergebad", "mergeorder", `receive from "results" collects worker results in completion order`},
+		{"mergebad", "mergeorder", `unstable sort of worker-produced "recs" keyed on cost`},
+		{"sinkbad", "sharedsink", `writes captured "count" outside any documented shape`},
+		{"sinkbad", "sharedsink", `captured "hits" is written under different locks; a shared sink needs one common mutex`},
+		{"sinkbad", "sharedsink", `read of worker-written "total" with no proven happens-before`},
+		{"sinkbad", "sharedsink", `captured "sum" is written under different locks across par.ForEach workers`},
+		{"seedbad", "seedflow", "time.Now (wall clock)"},
+		{"seedbad", "seedflow", "rand.Int63 (global random source)"},
+		{"seedbad", "seedflow", `a draw from shared RNG "rng"`},
+		{"seedbad", "seedflow", "map iteration order"},
+		{"seedbad", "seedflow", "a channel receive (completion order)"},
 	}
 	for _, want := range expect {
 		found := false
@@ -183,7 +213,7 @@ func TestFixturesFlagSeededViolations(t *testing.T) {
 
 func TestFixturesAcceptSafeIdioms(t *testing.T) {
 	diags := loadFixtures(t)
-	for _, clean := range []string{"nodetok", "purityok", "hangok", "schedok", "boundedok", "sharedok", "injectok", "restartok", "lockok", "flowok", "auditok", "hotallocok", "boxok", "arenaok", "persistok", "recreadok", "journalok", "restartcovok"} {
+	for _, clean := range []string{"nodetok", "purityok", "hangok", "schedok", "boundedok", "sharedok", "injectok", "restartok", "lockok", "flowok", "auditok", "hotallocok", "boxok", "arenaok", "persistok", "recreadok", "journalok", "restartcovok", "slotok", "mergeok", "sinkok", "seedok"} {
 		for _, d := range inFile(diags, clean) {
 			t.Errorf("unexpected finding in clean fixture %s: %s", clean, d)
 		}

@@ -1,0 +1,341 @@
+package lint
+
+// mergeorder enforces the reduce half of the parallel contract: after a
+// par.ForEach returns, the per-index results must be folded back in
+// index order (or by a genuinely commutative reduction). The rule
+// watches the region of the enclosing function after each ForEach call
+// for the three ways a data-race-free merge still goes nondeterministic:
+//
+//   - ranging over a map the workers filled, with an order-sensitive
+//     body (map iteration order is randomized; the commutative-fold
+//     shapes the nodeterminism rule's rangeChecker accepts — counter
+//     updates, map inserts, key collection followed by a sort — pass);
+//   - receiving from a channel the workers send on (completion order is
+//     the schedule's choice, not the index's), unless the send went
+//     through an index-derived slot handle;
+//   - sorting worker-produced records with an unstable sort keyed on a
+//     field that does not carry the index (ties between equal keys land
+//     in completion order).
+//
+// Race detectors are structurally blind to all three: the merge happens
+// after the pool's barrier, so there is no race — just a different
+// answer per schedule.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerMergeOrder returns the mergeorder rule.
+func AnalyzerMergeOrder() *Analyzer {
+	return &Analyzer{
+		Name: "mergeorder",
+		Doc:  "results of par.ForEach workers must be reduced in index order or by a commutative fold",
+		Run:  runMergeOrder,
+	}
+}
+
+func runMergeOrder(m *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, n := range m.CallGraph().sortedNodes() {
+		if !m.InScope(n.Pkg, "internal", "cmd") {
+			continue
+		}
+		for _, w := range parWorkers(m, n) {
+			out = append(out, checkMerges(m, w)...)
+		}
+	}
+	return out
+}
+
+// workerOutputs is what one worker literal feeds the merge phase.
+type workerOutputs struct {
+	// maps holds captured map variables the worker writes.
+	maps map[*types.Var]bool
+	// chans holds captured channel variables the worker sends on through
+	// a non-slot handle.
+	chans map[*types.Var]bool
+	// sinks maps captured slice sinks the worker appends records into to
+	// the set of struct field names that receive the index.
+	sinks map[*types.Var]map[string]bool
+}
+
+// collectOutputs classifies one worker literal's shared outputs.
+func collectOutputs(pkg *Package, w parWorker) *workerOutputs {
+	ssa := BuildLitSSA(pkg, w.lit)
+	captured := capturedVars(pkg, w.lit)
+	der := newIdxDeriver(pkg, ssa, w.idx)
+	for v := range atomicClaimVars(pkg, w.lit) {
+		der.extra[v] = true
+	}
+	o := &workerOutputs{
+		maps:  make(map[*types.Var]bool),
+		chans: make(map[*types.Var]bool),
+		sinks: make(map[*types.Var]map[string]bool),
+	}
+	for _, wr := range litWrites(pkg, w.lit) {
+		if !captured[wr.rootVar] {
+			continue
+		}
+		if t := pkg.Info.TypeOf(wr.root); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				o.maps[wr.rootVar] = true
+				continue
+			}
+		}
+		// x = append(x, T{...}): a sink; record which composite fields
+		// carry the index.
+		as, ok := wr.stmt.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			continue
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id := rootIdent(call.Fun)
+		if id == nil {
+			continue
+		}
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		fields, seen := o.sinks[wr.rootVar]
+		if !seen {
+			fields = make(map[string]bool)
+			o.sinks[wr.rootVar] = fields
+		}
+		for _, a := range call.Args[1:] {
+			for f := range indexFields(pkg, der, a, wr.stmt) {
+				fields[f] = true
+			}
+		}
+	}
+	ast.Inspect(w.lit.Body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		root := rootOf(send.Chan)
+		if root == nil {
+			return true
+		}
+		v, ok := pkg.Info.Uses[root].(*types.Var)
+		if !ok || !captured[v] {
+			return true
+		}
+		// A send through an index-derived slot handle (chans[i] <- v) is
+		// per-index plumbing; everything else signals completion order.
+		if step, ok := firstStep(send.Chan, root).(*ast.IndexExpr); ok {
+			if der.derived(step.Index, send) {
+				return true
+			}
+		}
+		o.chans[v] = true
+		return true
+	})
+	return o
+}
+
+// indexFields returns the field names of a composite-literal element
+// whose value derives from the worker index (results = append(results,
+// rec{idx: i, cost: c}) yields {"idx"}).
+func indexFields(pkg *Package, der *idxDeriver, e ast.Expr, at ast.Stmt) map[string]bool {
+	out := make(map[string]bool)
+	cl, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok {
+		u, isAddr := ast.Unparen(e).(*ast.UnaryExpr)
+		if !isAddr || u.Op != token.AND {
+			return out
+		}
+		if cl, ok = ast.Unparen(u.X).(*ast.CompositeLit); !ok {
+			return out
+		}
+	}
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if der.derived(kv.Value, at) {
+			out[key.Name] = true
+		}
+	}
+	return out
+}
+
+// checkMerges audits the post-ForEach region of the enclosing function.
+func checkMerges(m *Module, w parWorker) []Diagnostic {
+	pkg := w.node.Pkg
+	o := collectOutputs(pkg, w)
+	if len(o.maps) == 0 && len(o.chans) == 0 && len(o.sinks) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	var parents map[ast.Node]ast.Node
+	for _, f := range pkg.Files {
+		if f.Pos() <= w.call.Pos() && w.call.Pos() <= f.End() {
+			parents = parentMap(f)
+			break
+		}
+	}
+	ast.Inspect(w.node.Decl.Body, func(n ast.Node) bool {
+		if n == nil || n.End() <= w.call.End() {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n.Pos() > w.call.End() {
+				out = append(out, checkMergeRange(m, pkg, o, n, parents)...)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && n.Pos() > w.call.End() {
+				if v := chanVarOf(pkg, n.X); v != nil && o.chans[v] {
+					out = append(out, Diagnostic{
+						Pos: m.Fset.Position(n.Pos()),
+						Msg: fmt.Sprintf("receive from %q collects worker results in completion order; merge per-index slots in index order instead", v.Name()),
+					})
+				}
+			}
+		case *ast.CallExpr:
+			if n.Pos() > w.call.End() {
+				out = append(out, checkMergeSort(m, pkg, o, n)...)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkMergeRange flags order-sensitive ranges over worker-filled maps
+// and completion-order ranges over worker-fed channels.
+func checkMergeRange(m *Module, pkg *Package, o *workerOutputs, rs *ast.RangeStmt, parents map[ast.Node]ast.Node) []Diagnostic {
+	if v := chanVarOf(pkg, rs.X); v != nil && o.chans[v] {
+		return []Diagnostic{{
+			Pos: m.Fset.Position(rs.Pos()),
+			Msg: fmt.Sprintf("range over channel %q collects worker results in completion order; merge per-index slots in index order instead", v.Name()),
+		}}
+	}
+	root := rootOf(rs.X)
+	if root == nil {
+		return nil
+	}
+	v, ok := pkg.Info.Uses[root].(*types.Var)
+	if !ok || !o.maps[v] {
+		return nil
+	}
+	c := &rangeChecker{pkg: pkg, locals: make(map[types.Object]bool)}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			c.locals[pkg.Info.Defs[id]] = true
+		}
+	}
+	if !c.safeStmt(rs.Body) {
+		return []Diagnostic{{
+			Pos: m.Fset.Position(rs.Pos()),
+			Msg: fmt.Sprintf("merge ranges over worker-filled map %q with an order-sensitive body; iterate sorted keys or use a commutative fold", v.Name()),
+		}}
+	}
+	var out []Diagnostic
+	for _, nv := range c.needSort {
+		if !sortedLater(pkg, enclosingFunc(rs, parents), nv) {
+			out = append(out, Diagnostic{
+				Pos: m.Fset.Position(rs.Pos()),
+				Msg: fmt.Sprintf("merge over worker-filled map %q collects %q in iteration order but never sorts it", v.Name(), nv.Name()),
+			})
+		}
+	}
+	return out
+}
+
+// checkMergeSort flags unstable sorts of worker-produced records keyed
+// on non-index fields.
+func checkMergeSort(m *Module, pkg *Package, o *workerOutputs, call *ast.CallExpr) []Diagnostic {
+	fn := resolvedFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	p := fn.Pkg().Path()
+	unstable := (p == "sort" && fn.Name() == "Slice") || (p == "slices" && fn.Name() == "SortFunc")
+	if !unstable || len(call.Args) < 2 {
+		return nil
+	}
+	root := rootOf(call.Args[0])
+	if root == nil {
+		return nil
+	}
+	v, ok := pkg.Info.Uses[root].(*types.Var)
+	if !ok {
+		return nil
+	}
+	idxFields, isSink := o.sinks[v]
+	if !isSink {
+		return nil
+	}
+	less, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	// Compared fields: selector names inside the less function. A less
+	// function touching any index-carrying field restores index order;
+	// one comparing only non-index fields leaves ties in completion
+	// order.
+	var compared []string
+	usesIndexField := false
+	ast.Inspect(less.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		compared = append(compared, sel.Sel.Name)
+		if idxFields[sel.Sel.Name] {
+			usesIndexField = true
+		}
+		return true
+	})
+	if len(compared) == 0 || usesIndexField {
+		return nil
+	}
+	return []Diagnostic{{
+		Pos: m.Fset.Position(call.Pos()),
+		Msg: fmt.Sprintf("unstable sort of worker-produced %q keyed on %s, which does not carry the worker index; key on the index field or use a stable sort",
+			v.Name(), strings.Join(dedupStrings(compared), "/")),
+	}}
+}
+
+// chanVarOf resolves a plain identifier of channel type to its variable,
+// or nil.
+func chanVarOf(pkg *Package, e ast.Expr) *types.Var {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	if _, isChan := t.Underlying().(*types.Chan); !isChan {
+		return nil
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pkg.Info.Uses[id].(*types.Var)
+	return v
+}
+
+func dedupStrings(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

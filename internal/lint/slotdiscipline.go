@@ -1,0 +1,364 @@
+package lint
+
+// slotdiscipline enforces the write half of internal/par's contract:
+// a worker closure handed to par.ForEach may write captured state only
+// through an index-derived slot — a subscript the SSA-lite value graph
+// proves derives from the worker's index parameter — or under a mutex
+// (whose shape sharedsink then validates), or via sync/atomic (method
+// calls, which are not assignment targets and so never trip this rule).
+// Everything else — plain assignments to captured variables, writes into
+// captured maps, subscripts the index does not reach, stores through
+// captured pointers or aliases of captured storage — is a finding,
+// because two workers can reach the same cell and the final value
+// becomes an accident of scheduling that the race detector can even
+// miss (mutex-serialized but order-dependent writes).
+//
+// The same discipline is checked syntactically in _test.go files (the
+// module loader excludes them from the typed load): a lenient scan that
+// flags free-variable writes in ForEach worker literals unless the
+// subscript mentions an index-derived name or the literal carries a
+// Lock/Unlock pair.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// AnalyzerSlotDiscipline returns the slotdiscipline rule.
+func AnalyzerSlotDiscipline() *Analyzer {
+	return &Analyzer{
+		Name: "slotdiscipline",
+		Doc:  "par.ForEach workers may write captured state only through index-derived slots, sync/atomic, or a mutex",
+		Run:  runSlotDiscipline,
+	}
+}
+
+func runSlotDiscipline(m *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, n := range m.CallGraph().sortedNodes() {
+		if !m.InScope(n.Pkg, "internal", "cmd") {
+			continue
+		}
+		for _, w := range parWorkers(m, n) {
+			out = append(out, checkWorkerSlots(m, w)...)
+		}
+	}
+	out = append(out, slotTestScan(m)...)
+	return out
+}
+
+// checkWorkerSlots audits one worker literal's captured writes.
+func checkWorkerSlots(m *Module, w parWorker) []Diagnostic {
+	pkg := w.node.Pkg
+	ssa := BuildLitSSA(pkg, w.lit)
+	captured := capturedVars(pkg, w.lit)
+	der := newIdxDeriver(pkg, ssa, w.idx)
+	for v := range atomicClaimVars(pkg, w.lit) {
+		der.extra[v] = true
+	}
+	locks := ComputeLockFacts(pkg, ssa.CFG)
+
+	var out []Diagnostic
+	flag := func(n ast.Node, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos: m.Fset.Position(n.Pos()),
+			Msg: fmt.Sprintf(format, args...) +
+				"; par.ForEach workers may touch only their own index-derived slot (or use sync/atomic / a mutex-guarded sink)",
+		})
+	}
+	for _, wr := range litWrites(pkg, w.lit) {
+		if !captured[wr.rootVar] {
+			// A write through a literal-local handle: flag only when the
+			// handle provably aliases captured storage without an
+			// index-derived subscript (s := slots; s[j] = v).
+			if _, plain := ast.Unparen(wr.lhs).(*ast.Ident); plain {
+				continue
+			}
+			cls := der.classifyAlias(ssa.BindingAt(wr.stmt, wr.rootVar), captured)
+			if cls == aliasShared {
+				flag(wr.lhs, "write through %q, which aliases captured state without an index-derived subscript", wr.root.Name)
+			}
+			continue
+		}
+		// Mutex-guarded writes are sharedsink's business (shape check).
+		if held := locks.Before[wr.stmt]; len(held) > 0 {
+			continue
+		}
+		step := firstStep(wr.lhs, wr.root)
+		switch step := step.(type) {
+		case nil: // plain identifier: x = v, x += v, x++
+			flag(wr.lhs, "assignment to captured variable %q", wr.root.Name)
+		case *ast.IndexExpr:
+			if t := pkg.Info.TypeOf(wr.root); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					flag(wr.lhs, "write into captured map %q (maps have no index-derived slots)", wr.root.Name)
+					continue
+				}
+			}
+			if !der.derived(step.Index, wr.stmt) {
+				flag(wr.lhs, "write to captured %q at a subscript not derived from the worker index", wr.root.Name)
+			}
+		case *ast.SelectorExpr:
+			flag(wr.lhs, "write to field %s of captured %q", step.Sel.Name, wr.root.Name)
+		case *ast.StarExpr:
+			flag(wr.lhs, "write through captured pointer %q", wr.root.Name)
+		}
+	}
+	return out
+}
+
+// firstStep returns the innermost path operation applied directly to the
+// root identifier of an assignment target: the IndexExpr/SelectorExpr/
+// StarExpr whose operand is the root. A plain identifier target returns
+// nil.
+func firstStep(lhs ast.Expr, root *ast.Ident) ast.Expr {
+	var step ast.Expr
+	e := ast.Unparen(lhs)
+	for {
+		var inner ast.Expr
+		switch x := e.(type) {
+		case *ast.Ident:
+			if x == root {
+				return step
+			}
+			return nil
+		case *ast.SelectorExpr:
+			inner = x.X
+		case *ast.IndexExpr:
+			inner = x.X
+		case *ast.StarExpr:
+			inner = x.X
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		default:
+			return nil
+		}
+		step = e
+		e = ast.Unparen(inner)
+	}
+}
+
+// ---- Syntactic _test.go scan ------------------------------------------
+
+// slotTestScan applies a lenient, purely syntactic version of the slot
+// discipline to test files of in-scope packages (plus the module root,
+// where the soak and bench harnesses live).
+func slotTestScan(m *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range m.Pkgs {
+		if !m.InScope(pkg, "internal", "cmd") && pkg.Path != m.Path {
+			continue
+		}
+		entries, err := os.ReadDir(pkg.Dir)
+		if err != nil {
+			continue
+		}
+		var names []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), "_test.go") {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f, err := parser.ParseFile(m.Fset, filepath.Join(pkg.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				continue // a broken test file is the compiler's finding
+			}
+			collectFileAllows(m, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if lit, idx := testForEachLit(call); lit != nil {
+					out = append(out, scanTestWorker(m, lit, idx)...)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// testForEachLit matches par.ForEach(n, w, func(i int) ... ) (or a
+// dot-imported ForEach) syntactically and returns the literal and the
+// index parameter name.
+func testForEachLit(call *ast.CallExpr) (*ast.FuncLit, string) {
+	name := ""
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	}
+	if name != "ForEach" || len(call.Args) != 3 {
+		return nil, ""
+	}
+	lit, ok := ast.Unparen(call.Args[2]).(*ast.FuncLit)
+	if !ok || lit.Type.Params == nil || len(lit.Type.Params.List) == 0 ||
+		len(lit.Type.Params.List[0].Names) == 0 {
+		return nil, ""
+	}
+	return lit, lit.Type.Params.List[0].Names[0].Name
+}
+
+// scanTestWorker flags free-variable writes inside one test worker
+// literal.
+func scanTestWorker(m *Module, lit *ast.FuncLit, idx string) []Diagnostic {
+	locals := map[string]bool{"_": true}
+	var collectLocals func(n ast.Node)
+	collectLocals = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					for _, l := range n.Lhs {
+						if id, ok := l.(*ast.Ident); ok {
+							locals[id.Name] = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for _, id := range n.Names {
+					locals[id.Name] = true
+				}
+			case *ast.RangeStmt:
+				if n.Tok == token.DEFINE {
+					for _, e := range []ast.Expr{n.Key, n.Value} {
+						if id, ok := e.(*ast.Ident); ok {
+							locals[id.Name] = true
+						}
+					}
+				}
+			case *ast.FuncLit:
+				if n.Type.Params != nil {
+					for _, f := range n.Type.Params.List {
+						for _, id := range f.Names {
+							locals[id.Name] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	collectLocals(lit.Body)
+	if lit.Type.Params != nil {
+		for _, f := range lit.Type.Params.List {
+			for _, id := range f.Names {
+				locals[id.Name] = true
+			}
+		}
+	}
+
+	// Index-derived names, to a fixpoint: the index itself, anything
+	// defined from an expression mentioning a derived name, and atomic
+	// .Add claim results.
+	derived := map[string]bool{idx: true}
+	mentions := func(e ast.Expr, set map[string]bool) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && set[id.Name] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	hasAtomicAdd := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, l := range as.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok || derived[id.Name] {
+					continue
+				}
+				if mentions(as.Rhs[i], derived) || hasAtomicAdd(as.Rhs[i]) {
+					derived[id.Name] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// A literal carrying a Lock/Unlock pair is treated as a mutex-guarded
+	// sink wholesale — the typed rules validate shapes; the test scan
+	// only wants the glaring misses.
+	mutexed := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" {
+				mutexed = true
+			}
+		}
+		return !mutexed
+	})
+
+	var out []Diagnostic
+	flag := func(n ast.Node, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos: m.Fset.Position(n.Pos()),
+			Msg: fmt.Sprintf(format, args...) +
+				"; test workers must follow the par.ForEach slot discipline too",
+		})
+	}
+	check := func(st ast.Stmt, l ast.Expr) {
+		root := rootOf(l)
+		if root == nil || locals[root.Name] {
+			return
+		}
+		switch step := firstStep(l, root).(type) {
+		case nil:
+			if !mutexed {
+				flag(l, "test worker assigns captured variable %q", root.Name)
+			}
+		case *ast.IndexExpr:
+			if !mentions(step.Index, derived) {
+				flag(l, "test worker writes captured %q at a subscript not derived from the worker index", root.Name)
+			}
+		case *ast.SelectorExpr, *ast.StarExpr:
+			if !mutexed {
+				flag(l, "test worker writes through captured %q", root.Name)
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, l := range n.Lhs {
+				check(n, l)
+			}
+		case *ast.IncDecStmt:
+			check(n, n.X)
+		}
+		return true
+	})
+	return out
+}

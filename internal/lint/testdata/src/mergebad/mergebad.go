@@ -1,0 +1,102 @@
+// Package mergebad seeds the race-free-but-nondeterministic merges the
+// mergeorder rule must flag: a last-writer-wins map range, a key
+// collection that is never sorted, completion-order channel receives
+// (both a range and a single receive), and an unstable sort of worker
+// records keyed on a field that does not carry the index.
+package mergebad
+
+import (
+	"sort"
+	"sync"
+
+	"detobj/internal/par"
+)
+
+type rec struct {
+	idx  int
+	cost int
+}
+
+// price is a module call: its result is deterministic but not an
+// index-derived value the prover can see through.
+func price(i int) int { return (i * 7) % 5 }
+
+// PickWinner fills a map under a mutex and then lets map iteration
+// order choose the answer.
+func PickWinner(n, workers int) int {
+	hist := make(map[int]int)
+	var mu sync.Mutex
+	par.ForEach(n, workers, func(i int) error {
+		mu.Lock()
+		hist[i] = i * i
+		mu.Unlock()
+		return nil
+	})
+	winner := 0
+	for k := range hist {
+		winner = k
+	}
+	return winner
+}
+
+// UnsortedKeys collects the worker-filled map's keys in iteration order
+// and hands them back unsorted.
+func UnsortedKeys(n, workers int) []int {
+	hist := make(map[int]int)
+	var mu sync.Mutex
+	par.ForEach(n, workers, func(i int) error {
+		mu.Lock()
+		hist[i] = i
+		mu.Unlock()
+		return nil
+	})
+	var keys []int
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// DrainCompletion funnels worker results through one shared channel and
+// ranges over it: arrival order is the schedule's choice.
+func DrainCompletion(n, workers int) []int {
+	results := make(chan int, n)
+	par.ForEach(n, workers, func(i int) error {
+		results <- i * i
+		return nil
+	})
+	close(results)
+	var out []int
+	for v := range results {
+		out = append(out, v)
+	}
+	return out
+}
+
+// FirstDone reports whichever worker finished first.
+func FirstDone(n, workers int) int {
+	results := make(chan int, n)
+	par.ForEach(n, workers, func(i int) error {
+		results <- i
+		return nil
+	})
+	return <-results
+}
+
+// SortByCost sorts the worker records with an unstable sort keyed on
+// cost: ties between equal costs land in completion order.
+func SortByCost(n, workers int) []rec {
+	var (
+		mu   sync.Mutex
+		recs []rec
+	)
+	par.ForEach(n, workers, func(i int) error {
+		c := price(i)
+		mu.Lock()
+		recs = append(recs, rec{idx: i, cost: c})
+		mu.Unlock()
+		return nil
+	})
+	sort.Slice(recs, func(a, b int) bool { return recs[a].cost < recs[b].cost })
+	return recs
+}

@@ -1,0 +1,90 @@
+// Package mergeok exercises the merge shapes the mergeorder rule must
+// accept: an index-order fold over per-index slots, commutative folds
+// and sorted-key iteration over a worker-filled map, per-index channel
+// plumbing drained in index order, and an unstable sort keyed on the
+// record field that carries the worker index.
+package mergeok
+
+import (
+	"sort"
+	"sync"
+
+	"detobj/internal/par"
+)
+
+type rec struct {
+	idx  int
+	cost int
+}
+
+// MergeSlots folds per-index slots back in index order.
+func MergeSlots(n, workers int) int {
+	slots := make([]int, n)
+	par.ForEach(n, workers, func(i int) error {
+		slots[i] = i * 2
+		return nil
+	})
+	total := 0
+	for i := 0; i < n; i++ {
+		total += slots[i]
+	}
+	return total
+}
+
+// MergeMap fills a shared map under one mutex and reduces it twice, both
+// order-free: a commutative counter fold, then sorted-key iteration.
+func MergeMap(n, workers int) (int, []int) {
+	hist := make(map[int]int)
+	var mu sync.Mutex
+	par.ForEach(n, workers, func(i int) error {
+		mu.Lock()
+		hist[i%4] = i
+		mu.Unlock()
+		return nil
+	})
+	total := 0
+	for _, v := range hist {
+		total += v
+	}
+	var keys []int
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return total, keys
+}
+
+// MergeChans gives each worker its own channel slot and drains them in
+// index order: per-index plumbing, not completion order.
+func MergeChans(n, workers int) []int {
+	chans := make([]chan int, n)
+	for i := range chans {
+		chans[i] = make(chan int, 1)
+	}
+	par.ForEach(n, workers, func(i int) error {
+		chans[i] <- i * i
+		return nil
+	})
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = <-chans[i]
+	}
+	return out
+}
+
+// MergeSorted appends records to a mutex-guarded sink and restores
+// index order by sorting on the index-carrying field before reading.
+func MergeSorted(n, workers int) []rec {
+	var (
+		mu   sync.Mutex
+		recs []rec
+	)
+	par.ForEach(n, workers, func(i int) error {
+		mu.Lock()
+		recs = append(recs, rec{idx: i, cost: i % 3})
+		mu.Unlock()
+		return nil
+	})
+	sort.Slice(recs, func(a, b int) bool { return recs[a].idx < recs[b].idx })
+	return recs
+}

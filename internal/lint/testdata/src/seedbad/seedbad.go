@@ -1,0 +1,78 @@
+// Package seedbad seeds the schedule-dependent worker inputs the
+// seedflow rule must flag: a slot value stamped from the wall clock, a
+// module call fed from the unseeded global rand source, draws from one
+// RNG shared by all workers (race-free per draw, but draw ORDER is the
+// schedule's choice — invisible to nodeterminism, which blesses seeded
+// *rand.Rand methods), a pick made by map iteration order, and a value
+// pulled from a channel in completion order.
+package seedbad
+
+import (
+	"math/rand"
+	"time"
+
+	"detobj/internal/par"
+)
+
+// burn is a module function the workers feed.
+func burn(seed int64) int64 { return seed ^ 0x5a }
+
+// StampedSlots stores a wall-clock read into each worker's slot.
+func StampedSlots(n, workers int) []int64 {
+	slots := make([]int64, n)
+	par.ForEach(n, workers, func(i int) error {
+		slots[i] = time.Now().UnixNano()
+		return nil
+	})
+	return slots
+}
+
+// GlobalSeeds feeds the module step from the global rand source.
+func GlobalSeeds(n, workers int) []int64 {
+	slots := make([]int64, n)
+	par.ForEach(n, workers, func(i int) error {
+		slots[i] = burn(rand.Int63())
+		return nil
+	})
+	return slots
+}
+
+// SharedDraws hands every worker the same RNG: each draw is internally
+// locked, so there is no race — but which worker gets which draw is
+// decided by the schedule.
+func SharedDraws(n, workers int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	slots := make([]int64, n)
+	par.ForEach(n, workers, func(i int) error {
+		slots[i] = rng.Int63()
+		return nil
+	})
+	return slots
+}
+
+// MapPick seeds each worker from whichever key map iteration visits
+// last.
+func MapPick(n, workers int, weights map[int]int64) []int64 {
+	slots := make([]int64, n)
+	par.ForEach(n, workers, func(i int) error {
+		var pick int64
+		for _, w := range weights {
+			pick = w
+		}
+		slots[i] = pick
+		return nil
+	})
+	return slots
+}
+
+// FedFromChan seeds workers from a shared channel: which worker gets
+// which seed is completion order.
+func FedFromChan(n, workers int, feed chan int64) []int64 {
+	slots := make([]int64, n)
+	par.ForEach(n, workers, func(i int) error {
+		v := <-feed
+		slots[i] = v
+		return nil
+	})
+	return slots
+}

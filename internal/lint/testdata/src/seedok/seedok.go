@@ -1,0 +1,49 @@
+// Package seedok exercises the worker-input shapes the seedflow rule
+// must accept: a per-worker RNG seeded from the index (the blessed
+// rand.New(rand.NewSource(seed + int64(i))) construction), module calls
+// whose arguments are arithmetic over the index and captured
+// loop-invariant configuration, and slot values computed from both.
+package seedok
+
+import (
+	"math/rand"
+
+	"detobj/internal/par"
+)
+
+type config struct {
+	base  int64
+	depth int
+}
+
+// step is a module function the workers feed; seedflow audits its
+// arguments at every worker call site.
+func step(seed int64, depth int) int64 {
+	return seed * int64(depth+1)
+}
+
+// SweepSeeded derives each worker's seed and RNG purely from the index.
+func SweepSeeded(n, workers int, seed int64) []int64 {
+	slots := make([]int64, n)
+	cfg := config{base: seed, depth: 3}
+	par.ForEach(n, workers, func(i int) error {
+		r := rand.New(rand.NewSource(cfg.base + int64(i)))
+		draw := r.Int63()
+		slots[i] = step(cfg.base+int64(i), cfg.depth) + draw%7
+		return nil
+	})
+	return slots
+}
+
+// SweepDerived feeds module calls from locals that are arithmetic over
+// the index and captured read-only state.
+func SweepDerived(n, workers int, seed int64) []int64 {
+	slots := make([]int64, n)
+	par.ForEach(n, workers, func(i int) error {
+		mine := seed + int64(i)*2
+		depth := i % 5
+		slots[i] = step(mine, depth)
+		return nil
+	})
+	return slots
+}

@@ -1,0 +1,88 @@
+// Package sinkbad seeds the shared-accumulator mistakes the sharedsink
+// rule must flag: a bare captured write from a goroutine, one variable
+// written under two different mutexes, a post-spawn read with no proven
+// happens-before, and a par.ForEach sink that alternates locks.
+package sinkbad
+
+import (
+	"sync"
+
+	"detobj/internal/par"
+)
+
+// BareCounter bumps a captured counter from a goroutine with no slot,
+// no atomic, and no mutex.
+func BareCounter(n int) int {
+	count := 0
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			count++
+		}()
+	}
+	wg.Wait()
+	return count
+}
+
+// SplitLocks guards the same accumulator with two different mutexes, so
+// the writes never serialize against each other.
+func SplitLocks(n int) int {
+	var (
+		mu1, mu2 sync.Mutex
+		hits     int
+		wg       sync.WaitGroup
+	)
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu1.Lock()
+			hits++
+			mu1.Unlock()
+			mu2.Lock()
+			hits++
+			mu2.Unlock()
+		}()
+	}
+	wg.Wait()
+	return hits
+}
+
+// ReadTooSoon reads the mutex-guarded sink right after spawning, with
+// no WaitGroup.Wait between and without holding the sink's mutex.
+func ReadTooSoon() int {
+	var (
+		mu    sync.Mutex
+		total int
+	)
+	go func() {
+		mu.Lock()
+		total++
+		mu.Unlock()
+	}()
+	return total
+}
+
+// AlternatingSink drives a par.ForEach whose workers take different
+// locks around the same accumulator depending on the index.
+func AlternatingSink(n, workers int) int {
+	var (
+		mu1, mu2 sync.Mutex
+		sum      int
+	)
+	par.ForEach(n, workers, func(i int) error {
+		if i%2 == 0 {
+			mu1.Lock()
+			sum += i
+			mu1.Unlock()
+			return nil
+		}
+		mu2.Lock()
+		sum += i
+		mu2.Unlock()
+		return nil
+	})
+	return sum
+}

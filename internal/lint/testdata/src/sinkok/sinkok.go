@@ -1,0 +1,81 @@
+// Package sinkok exercises the documented shared-accumulator shapes the
+// sharedsink rule must accept: per-iteration slot goroutines joined by
+// a WaitGroup, a one-mutex sink read after Wait, a read taken under the
+// sink's own mutex, and an atomic early-exit counter.
+package sinkok
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// FanOutSlots spawns one goroutine per index, each writing only its own
+// slot, and reads the slots after the WaitGroup barrier.
+func FanOutSlots(n int) []int {
+	slots := make([]int, n)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		//detlint:allow nodeterminism fixture goroutine: each worker writes only its own per-iteration slot and the WaitGroup joins before any read
+		go func() {
+			defer wg.Done()
+			slots[p] = p * p
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for i := 0; i < n; i++ {
+		total += slots[i]
+	}
+	_ = total
+	return slots
+}
+
+// GuardedSink accumulates into one mutex-guarded total and counts
+// completions atomically; the read happens after Wait.
+func GuardedSink(n int) (int, int64) {
+	var (
+		mu    sync.Mutex
+		total int
+		done  atomic.Int64
+		wg    sync.WaitGroup
+	)
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		//detlint:allow nodeterminism fixture goroutine: the sink is commutative addition under one mutex and the WaitGroup joins before the read
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total += p
+			mu.Unlock()
+			done.Add(1)
+		}()
+	}
+	wg.Wait()
+	return total, done.Load()
+}
+
+// PeekUnderLock reads the sink while holding its mutex: no Wait needed
+// for a consistent (if racy-in-time) snapshot.
+func PeekUnderLock(n int) int {
+	var (
+		mu    sync.Mutex
+		total int
+		wg    sync.WaitGroup
+	)
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		//detlint:allow nodeterminism fixture goroutine: commutative mutex-guarded sink, snapshot read holds the same mutex
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total += p
+			mu.Unlock()
+		}()
+	}
+	mu.Lock()
+	snapshot := total
+	mu.Unlock()
+	wg.Wait()
+	return snapshot
+}

@@ -1,0 +1,24 @@
+package slotbad
+
+import (
+	"testing"
+
+	"detobj/internal/par"
+)
+
+// TestWorkerBreaksSlotDiscipline drives workers that assign a captured
+// variable and write a non-index cell — the syntactic test scan must
+// flag both.
+func TestWorkerBreaksSlotDiscipline(t *testing.T) {
+	const n = 8
+	total := 0
+	slots := make([]int, n)
+	par.ForEach(n, 4, func(i int) error {
+		total += i
+		slots[0] = i
+		return nil
+	})
+	if total == 0 && slots[0] == 0 {
+		t.Skip("fixture only")
+	}
+}

@@ -1,0 +1,28 @@
+package slotok
+
+import (
+	"testing"
+
+	"detobj/internal/par"
+)
+
+// TestWorkersKeepSlotDiscipline drives a worker that writes only its
+// own index-derived slots and literal-local state — the syntactic test
+// scan must stay silent.
+func TestWorkersKeepSlotDiscipline(t *testing.T) {
+	const n = 8
+	slots := make([]int, 2*n)
+	par.ForEach(n, 4, func(i int) error {
+		base := 2 * i
+		local := i
+		local++
+		slots[base] = local
+		slots[base+1] = local + 1
+		return nil
+	})
+	for i := 0; i < n; i++ {
+		if slots[2*i] != i+1 {
+			t.Fatalf("slot %d = %d, want %d", 2*i, slots[2*i], i+1)
+		}
+	}
+}

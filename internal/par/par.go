@@ -14,19 +14,48 @@
 //   - after any error the remaining indices are cancelled on a
 //     best-effort basis, but indices below the failing one always run
 //     to completion, so "everything before the reported failure" is
-//     fully populated.
+//     fully populated;
+//   - a panicking fn never deadlocks the pool: the panic is recovered
+//     in the worker, ranked like an error at its index, and the
+//     lowest-index failure — panic or error — wins; when a panic wins,
+//     ForEach re-panics with the original value on the caller's
+//     goroutine, matching what the sequential loop would have done.
 //
 // Thread-safety contract for callers: fn(i) and fn(j) run concurrently,
 // so each index must touch only its own slot plus data that is
 // read-only for the duration of the loop (see the sim package's
-// "Concurrency contract" for what that means for simulator runs).
+// "Concurrency contract" for what that means for simulator runs). The
+// slot/merge/sink/seed halves of this contract are machine-checked by
+// detlint's parallel-determinism rules — slotdiscipline, mergeorder,
+// sharedsink, seedflow (see README.md "Static analysis").
 package par
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// panicError carries a recovered panic value through the pool's
+// lowest-index-wins error ranking. Pointer-shaped on purpose: storing
+// it in the error interface allocates nothing beyond the value itself.
+type panicError struct {
+	val any
+}
+
+func (p *panicError) Error() string { return fmt.Sprintf("par: worker panic: %v", p.val) }
+
+// run executes fn(i), converting a panic into a *panicError so the
+// pool's ranking machinery can treat it as a failure at that index.
+func run(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{val: r}
+		}
+	}()
+	return fn(i)
+}
 
 // Default returns the default worker count: GOMAXPROCS, the number of
 // OS threads that can execute Go code simultaneously. Sweeps are CPU
@@ -58,6 +87,11 @@ func Normalize(workers, n int) int {
 // above the failing one, so the result is independent of which worker
 // ran what. Every index below the lowest failing index is guaranteed to
 // have completed; indices above it may or may not have run.
+//
+// A panic in fn is recovered in the worker (the pool never deadlocks
+// on a panicking body), ranked against errors by index, and — when the
+// panic holds the lowest failing index — re-raised with its original
+// value on the calling goroutine once all workers have drained.
 //
 // With workers == 1 ForEach degenerates to a plain loop on the calling
 // goroutine — no goroutines, no synchronization — so sequential
@@ -103,7 +137,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 				if i >= bound() {
 					return
 				}
-				if err := fn(int(i)); err != nil {
+				if err := run(fn, int(i)); err != nil {
 					mu.Lock()
 					if int(i) < firstI {
 						firstI, firstErr = int(i), err
@@ -125,5 +159,11 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	// A panic that won the lowest-index race surfaces as a panic on the
+	// caller's goroutine, exactly as the sequential loop would have
+	// panicked at that index.
+	if pe, ok := firstErr.(*panicError); ok {
+		panic(pe.val)
+	}
 	return firstErr
 }

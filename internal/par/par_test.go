@@ -3,6 +3,7 @@ package par
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync/atomic"
 	"testing"
 )
@@ -77,5 +78,112 @@ func TestNormalize(t *testing.T) {
 	}
 	if got := Normalize(-1, 0); got != 1 {
 		t.Errorf("Normalize(-1, 0) = %d, want 1", got)
+	}
+}
+
+func TestForEachPanicSurfacesWithoutDeadlock(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		func() {
+			defer func() {
+				r := recover()
+				if r != "boom-3" {
+					t.Fatalf("workers=%d: recovered %v, want boom-3", workers, r)
+				}
+			}()
+			ForEach(10, workers, func(i int) error {
+				if i == 3 {
+					panic("boom-3")
+				}
+				return nil
+			})
+			t.Fatalf("workers=%d: ForEach returned instead of panicking", workers)
+		}()
+	}
+}
+
+func TestForEachPanicRanksAgainstErrors(t *testing.T) {
+	// An error below the panicking index wins: ForEach returns the error
+	// and swallows nothing — the panic lost the race by index, exactly
+	// as a sequential loop stopping at the first failure never reaches
+	// the panicking iteration.
+	errLow := errors.New("low")
+	err := ForEach(10, 4, func(i int) error {
+		if i == 1 {
+			return errLow
+		}
+		if i == 8 {
+			panic("high")
+		}
+		return nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("err = %v, want the index-1 error", err)
+	}
+}
+
+// TestForEachFailureSemanticsProperty drives randomized failure sets —
+// errors and panics mixed across random indices, worker counts, and
+// sizes — and checks the sequential contract every time: the surfaced
+// failure is the one at the LOWEST failing index, as a panic when that
+// index panicked and as the returned error otherwise, and every index
+// below it has run to completion.
+func TestForEachFailureSemanticsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		workers := 1 + rng.Intn(9)
+		// mode per index: 0 = ok, 1 = error, 2 = panic.
+		modes := make([]int, n)
+		lowest := -1
+		for i := range modes {
+			if rng.Intn(4) == 0 {
+				modes[i] = 1 + rng.Intn(2)
+				if lowest == -1 {
+					lowest = i
+				}
+			}
+		}
+		ran := make([]int32, n)
+		var surfacedErr error
+		var surfacedPanic any
+		func() {
+			defer func() { surfacedPanic = recover() }()
+			surfacedErr = ForEach(n, workers, func(i int) error {
+				defer atomic.AddInt32(&ran[i], 1)
+				switch modes[i] {
+				case 1:
+					return fmt.Errorf("err-%d", i)
+				case 2:
+					panic(fmt.Sprintf("panic-%d", i))
+				}
+				return nil
+			})
+		}()
+		switch {
+		case lowest == -1:
+			if surfacedErr != nil || surfacedPanic != nil {
+				t.Fatalf("trial %d: clean run surfaced err=%v panic=%v", trial, surfacedErr, surfacedPanic)
+			}
+		case modes[lowest] == 1:
+			want := fmt.Sprintf("err-%d", lowest)
+			if surfacedPanic != nil || surfacedErr == nil || surfacedErr.Error() != want {
+				t.Fatalf("trial %d (n=%d w=%d): err=%v panic=%v, want error %q",
+					trial, n, workers, surfacedErr, surfacedPanic, want)
+			}
+		default:
+			want := fmt.Sprintf("panic-%d", lowest)
+			if surfacedErr != nil || surfacedPanic != want {
+				t.Fatalf("trial %d (n=%d w=%d): err=%v panic=%v, want panic %q",
+					trial, n, workers, surfacedErr, surfacedPanic, want)
+			}
+		}
+		if lowest >= 0 {
+			for i := 0; i < lowest; i++ {
+				if atomic.LoadInt32(&ran[i]) != 1 {
+					t.Fatalf("trial %d: index %d below failing index %d ran %d times",
+						trial, i, lowest, ran[i])
+				}
+			}
+		}
 	}
 }
