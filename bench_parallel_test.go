@@ -2,13 +2,19 @@ package detobj_test
 
 // Sequential-vs-parallel sub-benchmarks for the exhaustive engines. Every
 // benchmark comes as a seq/par pair with identical workloads; cmd/benchjson
-// pairs them by name and reports par's speedup over seq in BENCH_5.json.
+// pairs them by name and reports par's speedup over seq in BENCH_N.json.
 // The parallel engines are byte-identical to the sequential ones, so the
 // pairs also double as cross-checks: each iteration asserts the same
 // correctness condition on both sides.
 //
-// The speedup materializes at GOMAXPROCS >= 4; at GOMAXPROCS = 1 the
-// parallel engines delegate to (or tie with) the sequential ones.
+// Two benchmarks additionally carry a /red sub-benchmark running the
+// symmetry-reduced engine on the same workload; benchjson pairs those with
+// /seq into a Reductions section that also reports the allocation ratio
+// (the reduced engine visits one representative per orbit and replays
+// runs through an arena, so both time/op and allocs/op collapse).
+//
+// The parallel speedup materializes at GOMAXPROCS >= 4; at GOMAXPROCS = 1
+// the parallel engines delegate to (or tie with) the sequential ones.
 
 import (
 	"fmt"
@@ -119,6 +125,19 @@ func BenchmarkParExploreE4(b *testing.B) {
 			return modelcheck.ExploreParallel(f, 0, runtime.GOMAXPROCS(0), check)
 		})
 	})
+	// Reduced engine: the three followers are interchangeable, so one
+	// representative stands for up to 3! = 6 executions.
+	sym := modelcheck.SymmetricClasses(4, []int{1, 2, 3})
+	b.Run("k=3procs=4/red", func(b *testing.B) {
+		run(b, func() (int, error) {
+			rep, err := modelcheck.ExploreReduced(f, modelcheck.Reduced{Sym: sym}, 0,
+				func(e modelcheck.Execution, orbit int) error { return check(e) })
+			if err != nil {
+				return 0, err
+			}
+			return rep.Executions, nil
+		})
+	})
 }
 
 // BenchmarkParValencyE11: the E11 valency analysis of the SWAP-based
@@ -147,6 +166,16 @@ func BenchmarkParValencyE11(b *testing.B) {
 	b.Run("swap/par", func(b *testing.B) {
 		run(b, func() (*modelcheck.ValencyReport, error) {
 			return modelcheck.AnalyzeValencyParallel(f, 0, runtime.GOMAXPROCS(0))
+		})
+	})
+	// Reduced engine: the two proposers are symmetric once their input
+	// values are renamed along with the processes.
+	sym := modelcheck.SymmetricClasses(2, []int{0, 1})
+	sym.Rename = modelcheck.RenameByInputs([]sim.Value{10, 20})
+	b.Run("swap/red", func(b *testing.B) {
+		run(b, func() (*modelcheck.ValencyReport, error) {
+			rep, _, err := modelcheck.AnalyzeValencyReduced(f, modelcheck.Reduced{Sym: sym}, 0)
+			return rep, err
 		})
 	})
 }

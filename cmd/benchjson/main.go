@@ -1,6 +1,9 @@
 // Command benchjson converts `go test -bench` output (read from stdin)
 // into a machine-readable JSON report, pairing the seq/par sub-benchmark
 // twins of bench_parallel_test.go and computing par's speedup over seq.
+// Benchmarks that also carry a symmetry-reduced /red twin are paired
+// into a reductions section recording the speedup and the allocation
+// ratio of the reduced engine over the sequential one.
 //
 // The report records goos/goarch/cpu from the bench header and
 // numcpu/gomaxprocs from this process, so a committed BENCH_N.json is
@@ -44,6 +47,20 @@ type Speedup struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// Reduction pairs a /seq sub-benchmark with its symmetry-reduced /red
+// twin. Unlike the seq/par pairs, the interesting figure here is the
+// allocation collapse as much as the time: the reduced engine visits one
+// representative per orbit and replays runs through an arena.
+type Reduction struct {
+	Pair       string  `json:"pair"`
+	SeqNs      float64 `json:"seq_ns_per_op"`
+	RedNs      float64 `json:"red_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+	SeqAllocs  int64   `json:"seq_allocs_per_op"`
+	RedAllocs  int64   `json:"red_allocs_per_op"`
+	AllocRatio float64 `json:"alloc_ratio"`
+}
+
 // Report is the BENCH_N.json document.
 type Report struct {
 	Schema     string      `json:"schema"`
@@ -57,6 +74,7 @@ type Report struct {
 	Warning    string      `json:"warning,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 	Speedups   []Speedup   `json:"speedups,omitempty"`
+	Reductions []Reduction `json:"reductions,omitempty"`
 }
 
 // benchLine matches e.g.
@@ -144,6 +162,7 @@ func parse(r io.Reader) (*Report, error) {
 		return nil, fmt.Errorf("no benchmark lines on stdin")
 	}
 	rep.Speedups = pairSpeedups(rep.Benchmarks)
+	rep.Reductions = pairReductions(rep.Benchmarks)
 	return rep, nil
 }
 
@@ -183,6 +202,39 @@ func pairSpeedups(benches []Benchmark) []Speedup {
 			ParNs:   par.NsPerOp,
 			Speedup: math2(b.NsPerOp / par.NsPerOp),
 		})
+	}
+	return out
+}
+
+// pairReductions joins each .../seq benchmark with its .../red twin, in
+// the order the seq side appeared.
+func pairReductions(benches []Benchmark) []Reduction {
+	byName := make(map[string]Benchmark, len(benches))
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	var out []Reduction
+	for _, b := range benches {
+		if !strings.HasSuffix(b.Name, "/seq") {
+			continue
+		}
+		pair := strings.TrimSuffix(b.Name, "/seq")
+		red, ok := byName[pair+"/red"]
+		if !ok || red.NsPerOp <= 0 {
+			continue
+		}
+		r := Reduction{
+			Pair:      pair,
+			SeqNs:     b.NsPerOp,
+			RedNs:     red.NsPerOp,
+			Speedup:   math2(b.NsPerOp / red.NsPerOp),
+			SeqAllocs: b.AllocsPerOp,
+			RedAllocs: red.AllocsPerOp,
+		}
+		if red.AllocsPerOp > 0 {
+			r.AllocRatio = math2(float64(b.AllocsPerOp) / float64(red.AllocsPerOp))
+		}
+		out = append(out, r)
 	}
 	return out
 }

@@ -13,9 +13,16 @@
 // engines; E20's adversarial sweeps are sequential but each sweep point
 // is an exhaustive deterministic tree of its own.
 //
+// With -stats the driver also runs the symmetry-reduction engines
+// (modelcheck.ExploreReduced / AnalyzeValencyReduced) next to the
+// exhaustive ones and prints their transposition-table accounting —
+// representatives, distinct configurations, hits and misses — while
+// cross-checking every reconstructed count and verdict against the
+// unreduced oracle; any divergence exits non-zero.
+//
 // Usage:
 //
-//	modelcheck [-exp e6|e11|e20|all] [-parallel P]
+//	modelcheck [-exp e6|e11|e20|all] [-parallel P] [-stats]
 package main
 
 import (
@@ -37,14 +44,15 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: e6, e11, e20 or all")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the engines (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "run the symmetry-reduction engines next to the exhaustive ones and print their transposition-table accounting")
 	flag.Parse()
-	if err := run(os.Stdout, *exp, *parallel); err != nil {
+	if err := run(os.Stdout, *exp, *parallel, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "modelcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, workers int) error {
+func run(w io.Writer, exp string, workers int, stats bool) error {
 	workers = par.Normalize(workers, -1)
 	matched := false
 	if exp == "all" || exp == "e6" {
@@ -57,6 +65,11 @@ func run(w io.Writer, exp string, workers int) error {
 		matched = true
 		if err := expE11(w, workers); err != nil {
 			return fmt.Errorf("e11: %w", err)
+		}
+	}
+	if stats && (exp == "all" || exp == "e11") {
+		if err := expReduced(w, workers); err != nil {
+			return fmt.Errorf("reduction: %w", err)
 		}
 	}
 	if exp == "all" || exp == "e20" {
@@ -103,6 +116,7 @@ func expE6(w io.Writer, workers int) error {
 		{"WRN_3", wrn.New(3), modelcheck.WRNAlphabet(3, 2), true},
 		{"WRN_4", wrn.New(4), modelcheck.WRNAlphabet(4, 2), true},
 		{"WRN_5", wrn.New(5), modelcheck.WRNAlphabet(5, 2), true},
+		{"WRN_6", wrn.New(6), modelcheck.WRNAlphabet(6, 2), true},
 		{"1sWRN_3", wrn.NewOneShot(3), modelcheck.WRNAlphabet(3, 2), true},
 		{"WRN_2=SWAP", wrn.New(2), modelcheck.WRNAlphabet(2, 2), false},
 		{"swap", consensus.NewSwap(nil), swapAlpha, false},
@@ -133,51 +147,52 @@ func expE6(w io.Writer, workers int) error {
 	return nil
 }
 
-// expE11: valency analysis of the 2-consensus protocols.
-func expE11(w io.Writer, workers int) error {
-	fmt.Fprintln(w, "E11 Valency analysis: SWAP/WRN_2/TAS solve 2-consensus; the naive 3-process protocol breaks")
-	fmt.Fprintln(w, "protocol            configs  executions  bivalent  critical  agreement")
-	type row struct {
-		name string
-		f    modelcheck.Factory
-		// wantAgreement: every protocol agrees except the naive 3-process
-		// one on WRN_2, which must exhibit a disagreeing execution.
-		wantAgreement bool
+// e11Row is one protocol of the E11 table, carrying the symmetry group
+// the reduction cross-check quotients it by.
+type e11Row struct {
+	name string
+	f    modelcheck.Factory
+	sym  modelcheck.Symmetry
+	// wantAgreement: every protocol agrees except the naive 3-process
+	// one on WRN_2, which must exhibit a disagreeing execution.
+	wantAgreement bool
+}
+
+// e11Rows builds the E11 protocol table. The two-process protocols are
+// fully symmetric in their proposers; the naive 3-process one only in
+// the two processes sharing WRN index 0.
+func e11Rows() []e11Row {
+	two := func(build func(map[string]sim.Object, string, sim.Value, sim.Value) []sim.Program, obj string) modelcheck.Factory {
+		return func() sim.Config {
+			objects := map[string]sim.Object{}
+			progs := build(objects, obj, 10, 20)
+			return sim.Config{Objects: objects, Programs: progs}
+		}
 	}
-	rows := []row{
-		{"2-cons from SWAP", func() sim.Config {
-			objects := map[string]sim.Object{}
-			progs := consensus.TwoConsFromSwap(objects, "C", 10, 20)
-			return sim.Config{Objects: objects, Programs: progs}
-		}, true},
-		{"2-cons from WRN_2", func() sim.Config {
-			objects := map[string]sim.Object{}
-			progs := consensus.TwoConsFromWRN2(objects, "W", 10, 20)
-			return sim.Config{Objects: objects, Programs: progs}
-		}, true},
-		{"2-cons from TAS", func() sim.Config {
-			objects := map[string]sim.Object{}
-			progs := consensus.TwoConsFromTAS(objects, "T", 10, 20)
-			return sim.Config{Objects: objects, Programs: progs}
-		}, true},
-		{"2-cons from queue", func() sim.Config {
-			objects := map[string]sim.Object{}
-			progs := consensus.TwoConsFromQueue(objects, "Q", 10, 20)
-			return sim.Config{Objects: objects, Programs: progs}
-		}, true},
-		{"2-cons from f&add", func() sim.Config {
-			objects := map[string]sim.Object{}
-			progs := consensus.TwoConsFromFetchAdd(objects, "F", 10, 20)
-			return sim.Config{Objects: objects, Programs: progs}
-		}, true},
+	sym2 := modelcheck.SymmetricClasses(2, []int{0, 1})
+	sym2.Rename = modelcheck.RenameByInputs([]sim.Value{10, 20})
+	naiveSym := modelcheck.SymmetricClasses(3, []int{0, 2})
+	naiveSym.Rename = modelcheck.RenameByInputs([]sim.Value{10, 20, 30})
+	return []e11Row{
+		{"2-cons from SWAP", two(consensus.TwoConsFromSwap, "C"), sym2, true},
+		{"2-cons from WRN_2", two(consensus.TwoConsFromWRN2, "W"), sym2, true},
+		{"2-cons from TAS", two(consensus.TwoConsFromTAS, "T"), sym2, true},
+		{"2-cons from queue", two(consensus.TwoConsFromQueue, "Q"), sym2, true},
+		{"2-cons from f&add", two(consensus.TwoConsFromFetchAdd, "F"), sym2, true},
 		{"3 procs on WRN_2", func() sim.Config {
 			objects := map[string]sim.Object{}
 			progs := consensus.ThreeFromWRN2Naive(objects, "W", [3]sim.Value{10, 20, 30})
 			return sim.Config{Objects: objects, Programs: progs}
-		}, false},
+		}, naiveSym, false},
 	}
+}
+
+// expE11: valency analysis of the 2-consensus protocols.
+func expE11(w io.Writer, workers int) error {
+	fmt.Fprintln(w, "E11 Valency analysis: SWAP/WRN_2/TAS solve 2-consensus; the naive 3-process protocol breaks")
+	fmt.Fprintln(w, "protocol            configs  executions  bivalent  critical  agreement")
 	wrong := 0
-	for _, r := range rows {
+	for _, r := range e11Rows() {
 		rep, err := modelcheck.AnalyzeValencyParallel(r.f, 0, workers)
 		if err != nil {
 			return err
@@ -195,6 +210,108 @@ func expE11(w io.Writer, workers int) error {
 		return fmt.Errorf("%d protocol(s) contradict the paper's classification", wrong)
 	}
 	return nil
+}
+
+// expReduced (-stats): the symmetry-reduction engines run next to the
+// exhaustive ones. The E11 protocols are re-analyzed with
+// AnalyzeValencyReduced under their proposer symmetries, and the E4
+// relaxed-WRN race is re-explored with ExploreReduced under follower
+// symmetry; every reconstructed count and verdict is cross-checked
+// against the unreduced oracle and any divergence is an error.
+func expReduced(w io.Writer, workers int) error {
+	fmt.Fprintln(w, "E11r Symmetry + transposition reduction vs the exhaustive oracle")
+	fmt.Fprintln(w, "protocol            group  reduced  runs    hits    misses  executions  verdict")
+	wrong := 0
+	for _, r := range e11Rows() {
+		oracle, err := modelcheck.AnalyzeValencyParallel(r.f, 0, workers)
+		if err != nil {
+			return err
+		}
+		rep, srep, err := modelcheck.AnalyzeValencyReduced(r.f, modelcheck.Reduced{Sym: r.sym}, 0)
+		if err != nil {
+			return fmt.Errorf("%s reduced: %w", r.name, err)
+		}
+		verdict := "match"
+		if rep.Configs != oracle.Configs || rep.Executions != oracle.Executions ||
+			rep.Bivalent != oracle.Bivalent || rep.Critical != oracle.Critical ||
+			rep.Agreement != oracle.Agreement || !equalStrings(rep.Values, oracle.Values) {
+			verdict = "** MISMATCH **"
+			wrong++
+		}
+		fmt.Fprintf(w, "%-19s %-6d %-8d %-7d %-7d %-7d %-11d %s\n",
+			r.name, srep.Group, srep.ReducedConfigs, srep.Runs, srep.Hits, srep.Misses, srep.Executions, verdict)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "E4r  Reduced exploration of the relaxed-WRN race (followers interchangeable)")
+	fmt.Fprintln(w, "workload            group  reduced  runs    hits    misses  executions  verdict")
+	for _, procs := range []int{4, 5} {
+		f := relaxedE4Factory(3, procs)
+		followers := make([]int, procs-1)
+		for i := range followers {
+			followers[i] = i + 1
+		}
+		srep, err := modelcheck.ExploreReduced(f, modelcheck.Reduced{
+			Sym: modelcheck.SymmetricClasses(procs, followers),
+		}, 1<<40, nil)
+		if err != nil {
+			return fmt.Errorf("E4 procs=%d reduced: %w", procs, err)
+		}
+		verdict := "match"
+		// procs=5 is exactly what the reduction buys: the unreduced
+		// count is out of interactive reach, so it is cross-checked at
+		// procs=4 here (and once offline for procs=5 — see
+		// TestReducedE4Procs5 in internal/modelcheck).
+		if procs == 4 {
+			oracle, err := modelcheck.ExploreParallel(f, 1<<40, workers, func(modelcheck.Execution) error { return nil })
+			if err != nil {
+				return fmt.Errorf("E4 procs=4 oracle: %w", err)
+			}
+			if srep.Executions != oracle {
+				verdict = "** MISMATCH **"
+				wrong++
+			}
+		}
+		fmt.Fprintf(w, "k=3 procs=%-9d %-6d %-8d %-7d %-7d %-7d %-11d %s\n",
+			procs, srep.Group, srep.ReducedConfigs, srep.Runs, srep.Hits, srep.Misses, srep.Executions, verdict)
+	}
+	fmt.Fprintln(w)
+	if wrong > 0 {
+		return fmt.Errorf("%d reduced verdict(s) diverge from the exhaustive oracle", wrong)
+	}
+	return nil
+}
+
+// relaxedE4Factory is the E4 workload: procs contenders racing on a
+// relaxed WRN_k wrapper, process 0 alone on index 1.
+func relaxedE4Factory(k, procs int) modelcheck.Factory {
+	return func() sim.Config {
+		objects := map[string]sim.Object{}
+		rlx, _ := wrn.NewRelaxed(objects, "W", k)
+		progs := make([]sim.Program, procs)
+		for p := 0; p < procs; p++ {
+			p := p
+			progs[p] = func(ctx *sim.Ctx) sim.Value {
+				if p == 0 {
+					return rlx.RlxWRN(ctx, 1, "solo")
+				}
+				return rlx.RlxWRN(ctx, 0, fmt.Sprintf("p%d", p))
+			}
+		}
+		return sim.Config{Objects: objects, Programs: progs}
+	}
+}
+
+// equalStrings compares two string slices element-wise.
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // expE20: recoverable-consensus calibration. Each object's restart-aware

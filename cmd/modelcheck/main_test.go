@@ -7,7 +7,7 @@ import (
 
 func TestRunAll(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "all", 0); err != nil {
+	if err := run(&b, "all", 0, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := b.String()
@@ -39,12 +39,12 @@ func TestRunAll(t *testing.T) {
 // every -parallel value.
 func TestRunParallelDeterministic(t *testing.T) {
 	var want strings.Builder
-	if err := run(&want, "all", 1); err != nil {
+	if err := run(&want, "all", 1, false); err != nil {
 		t.Fatalf("sequential run: %v", err)
 	}
 	for _, workers := range []int{2, 4} {
 		var got strings.Builder
-		if err := run(&got, "all", workers); err != nil {
+		if err := run(&got, "all", workers, false); err != nil {
 			t.Fatalf("parallel=%d run: %v", workers, err)
 		}
 		if got.String() != want.String() {
@@ -64,13 +64,35 @@ func rowHas(out, prefix, want string) bool {
 
 func TestRunSelection(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "e11", 0); err != nil {
+	if err := run(&b, "e11", 0, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if strings.Contains(b.String(), "E6") {
 		t.Error("e11 selection also ran e6")
 	}
-	if err := run(&b, "bogus", 0); err == nil {
+	if err := run(&b, "bogus", 0, false); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRunStats: -stats runs the reduction cross-check and every row must
+// match the exhaustive oracle.
+func TestRunStats(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "e11", 0, true); err != nil {
+		t.Fatalf("run -stats: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "E11r") || !strings.Contains(out, "E4r") {
+		t.Fatalf("stats tables missing:\n%s", out)
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("reduced engines diverge from the oracle:\n%s", out)
+	}
+	if !rowHas(out, "2-cons from SWAP", "match") || !rowHas(out, "3 procs on WRN_2", "match") {
+		t.Errorf("E11r rows not matching:\n%s", out)
+	}
+	if !rowHas(out, "k=3 procs=5", "match") {
+		t.Errorf("E4r procs=5 row missing:\n%s", out)
 	}
 }

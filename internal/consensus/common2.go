@@ -62,6 +62,16 @@ func (q *Queue) CloneObject() sim.Object {
 	return NewQueue(q.items...)
 }
 
+// AppendStateSig implements sim.StateSigner: the queue contents in FIFO
+// order, with a length prefix so different splits cannot alias.
+func (q *Queue) AppendStateSig(dst []byte) []byte {
+	dst = sim.AppendIntSig(dst, len(q.items))
+	for _, v := range q.items {
+		dst = sim.AppendValueSig(dst, v)
+	}
+	return dst
+}
+
 // QueueRef is a typed handle to a Queue registered under Name.
 type QueueRef struct {
 	Name string
@@ -105,6 +115,11 @@ func (f *FetchAdd) StateKey() string { return fmt.Sprint(f.n) }
 
 // CloneObject returns a copy (for the model checker).
 func (f *FetchAdd) CloneObject() sim.Object { return &FetchAdd{n: f.n} }
+
+// AppendStateSig implements sim.StateSigner.
+func (f *FetchAdd) AppendStateSig(dst []byte) []byte {
+	return sim.AppendIntSig(dst, f.n)
+}
 
 // FetchAddRef is a typed handle to a FetchAdd registered under Name.
 type FetchAddRef struct {

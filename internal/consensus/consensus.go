@@ -130,11 +130,25 @@ func (r CellRef) Propose(ctx *sim.Ctx, v sim.Value) sim.Value {
 // StateKey serializes the cell (for the model checker).
 func (s *Swap) StateKey() string { return fmt.Sprint(s.v) }
 
+// AppendStateSig implements sim.StateSigner.
+func (s *Swap) AppendStateSig(dst []byte) []byte {
+	return sim.AppendValueSig(dst, s.v)
+}
+
 // CloneObject returns a copy (for the model checker).
 func (s *Swap) CloneObject() sim.Object { return &Swap{v: s.v} }
 
 // StateKey serializes the flag (for the model checker).
 func (t *TestAndSet) StateKey() string { return fmt.Sprint(t.set) }
+
+// AppendStateSig implements sim.StateSigner.
+func (t *TestAndSet) AppendStateSig(dst []byte) []byte {
+	set := 0
+	if t.set {
+		set = 1
+	}
+	return sim.AppendIntSig(dst, set)
+}
 
 // CloneObject returns a copy (for the model checker).
 func (t *TestAndSet) CloneObject() sim.Object { return &TestAndSet{set: t.set} }
@@ -148,4 +162,15 @@ func (c *Cell) StateKey() string {
 func (c *Cell) CloneObject() sim.Object {
 	cp := *c
 	return &cp
+}
+
+// AppendStateSig implements sim.StateSigner.
+func (c *Cell) AppendStateSig(dst []byte) []byte {
+	dst = sim.AppendIntSig(dst, c.used)
+	decided := 0
+	if c.decided {
+		decided = 1
+	}
+	dst = sim.AppendIntSig(dst, decided)
+	return sim.AppendValueSig(dst, c.decision)
 }

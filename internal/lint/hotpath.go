@@ -35,8 +35,10 @@ const maxHotDepth = 6
 var hotRootNames = map[string]bool{
 	"Explore":                           true,
 	"ExploreParallel":                   true,
+	"ExploreReduced":                    true,
 	"AnalyzeValency":                    true,
 	"AnalyzeValencyParallel":            true,
+	"AnalyzeValencyReduced":             true,
 	"CheckIndistinguishability":         true,
 	"CheckIndistinguishabilityParallel": true,
 }

@@ -28,6 +28,15 @@ import (
 // ErrLimit is returned when exploration exceeds its execution budget.
 var ErrLimit = errors.New("modelcheck: execution limit exceeded")
 
+// ErrScriptDivergence is returned when a replayed choice script does not
+// fit the choices the objects actually demand: script[pos] falls outside
+// the demanded [0, n) range. The scripted tree and the replayed tree
+// have diverged — possible when an adversary wrap (AnalyzeValencyUnder)
+// makes an object's choice demands schedule-dependent — and silently
+// reducing the value modulo n would alias two distinct branches, so the
+// engines fail loudly instead.
+var ErrScriptDivergence = errors.New("modelcheck: replayed choice script diverged from the object's demand")
+
 // Factory produces a fresh configuration (fresh objects, same programs)
 // for every replayed execution. Scheduler and Choice are overridden by the
 // explorer.
@@ -51,13 +60,30 @@ type choiceDemand struct {
 	n int
 }
 
+// scriptDivergence is panicked by scriptSource when a replayed script
+// value does not fit the demanded range; runScriptedUnder converts it
+// into an error wrapping ErrScriptDivergence.
+type scriptDivergence struct {
+	pos, value, n int
+}
+
 // scriptSource replays a fixed choice script.
 type scriptSource struct {
 	script []int
 	pos    int
 }
 
-// Intn implements sim.RandSource.
+// reset re-arms the source to replay script from its start, reusing the
+// receiver (the reduction layer replays one source per engine run).
+func (s *scriptSource) reset(script []int) {
+	s.script = script
+	s.pos = 0
+}
+
+// Intn implements sim.RandSource. The script value must lie in the
+// demanded [0, n) range exactly as recorded: the explorers only ever
+// script values they were asked for, so an out-of-range value means the
+// replay diverged from the tree that produced the script.
 func (s *scriptSource) Intn(n int) int {
 	if n <= 0 {
 		panic(fmt.Sprintf("modelcheck: Intn(%d)", n))
@@ -65,7 +91,10 @@ func (s *scriptSource) Intn(n int) int {
 	if s.pos >= len(s.script) {
 		panic(choiceDemand{n: n})
 	}
-	v := s.script[s.pos] % n
+	v := s.script[s.pos]
+	if v < 0 || v >= n {
+		panic(scriptDivergence{pos: s.pos, value: v, n: n})
+	}
 	s.pos++
 	return v
 }
@@ -82,10 +111,14 @@ func Explore(f Factory, limit int, visit func(e Execution) error) (int, error) {
 	}
 	count := 0
 	err := exploreDFS(f, nil, nil, func(e Execution) error {
-		count++
-		if count > limit {
+		// The budget check runs before the count moves, so the returned
+		// count is exactly the number of visit calls — the doc contract
+		// ExploreParallel reproduces through the same errLimitExceeded
+		// rendering (see TestExploreLimitBoundaryParity).
+		if count == limit {
 			return errLimitExceeded(limit)
 		}
+		count++
 		return visit(e)
 	})
 	return count, err
@@ -158,7 +191,26 @@ func runScriptedUnder(f Factory, wrap func(inner sim.Scheduler) sim.Scheduler, s
 	}
 	cfg.Scheduler = s
 	cfg.Choice = &scriptSource{script: choices}
-	return sim.Run(cfg)
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, decodeRunError(err)
+	}
+	return res, nil
+}
+
+// decodeRunError converts the control-signal panics the explorers plant
+// in their scripted runs back into typed errors; other errors pass
+// through untouched.
+func decodeRunError(err error) error {
+	var ope *sim.ObjectPanicError
+	if !errors.As(err, &ope) {
+		return err
+	}
+	if d, ok := ope.Value.(scriptDivergence); ok {
+		return fmt.Errorf("%w: script[%d] = %d but object %q demanded Intn(%d)",
+			ErrScriptDivergence, d.pos, d.value, ope.Object, d.n)
+	}
+	return err
 }
 
 // asDemand reports whether err is an object panic carrying a choiceDemand.
@@ -198,7 +250,7 @@ func verifyErr(e Execution, err error) error {
 func DecisionVectors(f Factory, limit int) (map[string][]int, error) {
 	out := make(map[string][]int)
 	_, err := Explore(f, limit, func(e Execution) error {
-		key := fmt.Sprint(e.Result.Outputs)
+		key := renderValues(e.Result.Outputs)
 		if _, ok := out[key]; !ok {
 			out[key] = e.Schedule
 		}

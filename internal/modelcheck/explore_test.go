@@ -81,6 +81,9 @@ func (coin) Apply(env *sim.Env, inv sim.Invocation) sim.Response {
 	return sim.Respond(env.Rand.Intn(2))
 }
 
+// AppendStateSig implements sim.StateSigner; a coin is stateless.
+func (coin) AppendStateSig(dst []byte) []byte { return dst }
+
 func coinFactory(procs, flips int) Factory {
 	return func() sim.Config {
 		programs := make([]sim.Program, procs)

@@ -211,11 +211,13 @@ merge:
 			retErr = n.err
 			break merge
 		case !n.open:
-			count++
-			if count > limit {
+			// Budget check before the count moves, mirroring Explore:
+			// the returned count is the number of visit calls.
+			if count == limit {
 				retErr = errLimitExceeded(limit)
 				break merge
 			}
+			count++
 			if err := visit(n.exec); err != nil {
 				retErr = err
 				break merge
@@ -224,11 +226,11 @@ merge:
 			out := streams[root]
 			root++
 			for e := range out.ch {
-				count++
-				if count > limit {
+				if count == limit {
 					retErr = errLimitExceeded(limit)
 					break merge
 				}
+				count++
 				if err := visit(e); err != nil {
 					retErr = err
 					break merge
@@ -237,8 +239,9 @@ merge:
 			if err := <-out.done; err != nil {
 				if _, aborted := err.(abortError); aborted && limitHit.Load() {
 					// The budget tripped inside a worker; report it the
-					// way Explore does.
-					count = limit + 1
+					// way Explore does: limit executions visited, then
+					// the canonical error.
+					count = limit
 					retErr = errLimitExceeded(limit)
 				} else {
 					retErr = err

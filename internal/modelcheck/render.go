@@ -13,6 +13,7 @@ package modelcheck
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"detobj/internal/sim"
 )
@@ -34,4 +35,21 @@ func renderValue(v sim.Value) string {
 	default:
 		return fmt.Sprint(v)
 	}
+}
+
+// renderValues renders a value slice exactly as fmt.Sprint renders the
+// slice itself: elements space-separated inside brackets. DecisionVectors
+// keys its vectors through here, so decision keys render identically to
+// decisionValues without fmt's reflection walk over the slice.
+func renderValues(vs []sim.Value) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(renderValue(v))
+	}
+	b.WriteByte(']')
+	return b.String()
 }

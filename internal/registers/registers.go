@@ -171,6 +171,11 @@ func AddCounterArray(objects map[string]sim.Object, name string, k int) []Counte
 // StateKey serializes the register value (for the model checker).
 func (r *Register) StateKey() string { return fmt.Sprint(r.value) }
 
+// AppendStateSig implements sim.StateSigner.
+func (r *Register) AppendStateSig(dst []byte) []byte {
+	return sim.AppendValueSig(dst, r.value)
+}
+
 // CloneObject returns a copy (for the model checker).
 func (r *Register) CloneObject() sim.Object {
 	return &Register{value: r.value, writer: r.writer}
@@ -178,6 +183,11 @@ func (r *Register) CloneObject() sim.Object {
 
 // StateKey serializes the counter (for the model checker).
 func (c *Counter) StateKey() string { return fmt.Sprint(c.n) }
+
+// AppendStateSig implements sim.StateSigner.
+func (c *Counter) AppendStateSig(dst []byte) []byte {
+	return sim.AppendIntSig(dst, c.n)
+}
 
 // CloneObject returns a copy (for the model checker).
 func (c *Counter) CloneObject() sim.Object { return &Counter{n: c.n} }

@@ -90,6 +90,17 @@ type Config struct {
 	// fault.go). Incarnation 0 never runs it. It is shared by all
 	// processes and must obey the Program purity contract.
 	Recovery RecoveryProc
+	// OnStep, when non-nil, is called synchronously after every applied
+	// object step with the acting process id, the response value, and
+	// whether the step hung the caller (a hung step delivers no value).
+	// The model checker's reduction layer uses it to build per-process
+	// response histories without recording a full Trace. The callback
+	// must not call back into the run.
+	OnStep func(proc int, out Value, hang bool)
+	// Arena, when non-nil, recycles run scratch (process slots,
+	// channels, result buffers) across consecutive Runs; see RunArena
+	// for the aliasing rules.
+	Arena *RunArena
 }
 
 // ProcStatus is the final status of a process after a run.
@@ -227,10 +238,12 @@ func Run(cfg Config) (*Result, error) {
 		maxSteps = DefaultMaxSteps
 	}
 
-	rt := &runtime{
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		procs: make([]*procState, n),
+	rt := newRuntime(cfg, n)
+	if cfg.Choice == nil {
+		// The seeded source is built only when no Choice override is
+		// present: the exhaustive engines always script their choices,
+		// and rand.New is two allocations per replayed run.
+		rt.rng = rand.New(rand.NewSource(cfg.Seed))
 	}
 	if o, ok := sched.(Observer); ok {
 		rt.obs = o
@@ -239,14 +252,8 @@ func Run(cfg Config) (*Result, error) {
 		rt.injector = fi
 	}
 	for i, prog := range cfg.Programs {
-		p := &procState{
-			msgCh: make(chan message),
-			resCh: make(chan resume),
-			live:  true,
-		}
-		rt.procs[i] = p
 		//detlint:allow nodeterminism lockstep handshake: each goroutine blocks on its private resCh until the scheduler resumes it, so exactly one runs at a time and interleaving is fully schedule-determined
-		go runProgram(i, prog, p)
+		go runProgram(i, prog, rt.procs[i])
 	}
 
 	// Settle every process to its first invocation (or completion).
@@ -322,10 +329,12 @@ func contains(xs []int, x int) bool {
 
 type runtime struct {
 	cfg      Config
-	rng      *rand.Rand
+	rng      *rand.Rand // nil when cfg.Choice overrides it
 	obs      Observer      // scheduler's event tap, if it implements Observer
 	injector FaultInjector // scheduler's fault channel, if it implements FaultInjector
 	procs    []*procState
+	arena    *RunArena // non-nil when run scratch is recycled
+	env      Env       // per-step Env, rebuilt in place (objects must not retain it)
 	steps    int
 	seq      int
 	faults   int // fault directives applied, bounded by the step budget
@@ -335,12 +344,25 @@ type runtime struct {
 }
 
 func (rt *runtime) enabled() []int {
-	var ids []int
+	if rt.arena == nil {
+		var ids []int
+		for i, p := range rt.procs {
+			if p.pending {
+				ids = append(ids, i)
+			}
+		}
+		return ids
+	}
+	// Arena runs reuse one buffer for every scheduling round; the final
+	// round's contents surface as Result.Enabled, which the arena
+	// contract says the next Run invalidates.
+	ids := rt.arena.enabled[:0]
 	for i, p := range rt.procs {
 		if p.pending {
 			ids = append(ids, i)
 		}
 	}
+	rt.arena.enabled = ids
 	return ids
 }
 
@@ -451,12 +473,14 @@ func (rt *runtime) step(id int) error {
 	if !ok {
 		return fmt.Errorf("%w: %q (process %d)", ErrUnknownObject, p.inv.obj, id)
 	}
-	var choice RandSource = rt.rng
-	if rt.cfg.Choice != nil {
-		choice = rt.cfg.Choice
+	choice := rt.cfg.Choice
+	if choice == nil {
+		choice = rt.rng
 	}
-	env := &Env{Proc: id, Step: rt.steps, Rand: choice}
-	resp, err := applyObject(obj, env, p.inv)
+	// The Env is rebuilt in place instead of allocated per step; Apply
+	// must not retain it (see the Object contract).
+	rt.env = Env{Proc: id, Step: rt.steps, Rand: choice}
+	resp, err := applyObject(obj, &rt.env, p.inv)
 	if err != nil {
 		return err
 	}
@@ -471,6 +495,9 @@ func (rt *runtime) step(id int) error {
 		Out:    resp.Value,
 		Hang:   resp.Effect == Hang,
 	})
+	if rt.cfg.OnStep != nil {
+		rt.cfg.OnStep(id, resp.Value, resp.Effect == Hang)
+	}
 	if resp.Effect == Hang {
 		p.status = StatusHung
 		rt.abort(p)
@@ -557,16 +584,35 @@ func (rt *runtime) abortAll() {
 }
 
 func (rt *runtime) result(enabledAtStop []int) *Result {
-	res := &Result{
-		Outputs: make([]Value, len(rt.procs)),
-		Status:  make([]ProcStatus, len(rt.procs)),
-		Enabled: enabledAtStop,
-		Steps:   rt.steps,
-		Trace:   rt.trace,
+	var res *Result
+	if a := rt.arena; a != nil {
+		a.outputs = a.outputs[:0]
+		a.status = a.status[:0]
+		a.events = rt.trace.Events
+		res = &a.res
+		*res = Result{
+			Outputs: a.outputs,
+			Status:  a.status,
+			Enabled: enabledAtStop,
+			Steps:   rt.steps,
+			Trace:   rt.trace,
+		}
+	} else {
+		res = &Result{
+			Outputs: make([]Value, 0, len(rt.procs)),
+			Status:  make([]ProcStatus, 0, len(rt.procs)),
+			Enabled: enabledAtStop,
+			Steps:   rt.steps,
+			Trace:   rt.trace,
+		}
 	}
-	for i, p := range rt.procs {
-		res.Outputs[i] = p.output
-		res.Status[i] = p.status
+	for _, p := range rt.procs {
+		res.Outputs = append(res.Outputs, p.output)
+		res.Status = append(res.Status, p.status)
+	}
+	if a := rt.arena; a != nil {
+		a.outputs = res.Outputs
+		a.status = res.Status
 	}
 	if rt.injector != nil {
 		res.Restarts = make([]int, len(rt.procs))

@@ -130,7 +130,8 @@ type RandSource interface {
 // Object is a shared object: a sequential state machine. The simulator
 // serializes all access, so implementations are single-threaded and need
 // no synchronization. Apply executes one atomic operation and returns its
-// response; it must not retain inv.Args.
+// response; it must not retain inv.Args or env (the runtime rebuilds one
+// Env in place per step).
 type Object interface {
 	Apply(env *Env, inv Invocation) Response
 }

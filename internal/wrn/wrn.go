@@ -186,6 +186,15 @@ func (r Relaxed) K() int { return len(r.counters) }
 // StateKey serializes the cell contents (for the model checker).
 func (o *Object) StateKey() string { return fmt.Sprint(o.cells) }
 
+// AppendStateSig implements sim.StateSigner: the cell contents, in
+// index order, tag-delimited (see internal/sim/signature.go).
+func (o *Object) AppendStateSig(dst []byte) []byte {
+	for _, c := range o.cells {
+		dst = sim.AppendValueSig(dst, c)
+	}
+	return dst
+}
+
 // CloneObject returns a deep copy (for the model checker).
 func (o *Object) CloneObject() sim.Object {
 	return &Object{k: o.k, cells: o.Cells()}
@@ -195,6 +204,17 @@ func (o *Object) CloneObject() sim.Object {
 // checker).
 func (o *OneShot) StateKey() string {
 	return fmt.Sprintf("%v%v", o.inner.cells, o.used)
+}
+
+// AppendStateSig implements sim.StateSigner: the inner cells plus the
+// per-index attempt counters. The counters (not just the used flags)
+// are part of the state because Invocations exposes them.
+func (o *OneShot) AppendStateSig(dst []byte) []byte {
+	dst = o.inner.AppendStateSig(dst)
+	for _, u := range o.uses {
+		dst = sim.AppendIntSig(dst, u)
+	}
+	return dst
 }
 
 // CloneObject returns a deep copy (for the model checker).
